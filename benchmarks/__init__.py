@@ -1,0 +1,1 @@
+"""Experiment benches — one module per table/figure of the paper."""

@@ -1,0 +1,136 @@
+"""Ablations of the design choices DESIGN.md calls out (our additions).
+
+Not a paper figure — these benches justify the implementation decisions and
+probe the paper's qualitative criticisms of TILA:
+
+1. TILA initial-multiplier sensitivity (paper criticism (2)): sweep the
+   initial price and record the outcome spread.
+2. TILA via-cost linearization (criticism (3)): linearized (faithful) vs
+   our exact tree-DP coupling.
+3. CPLA post-mapping: Alg. 1 ("paper") vs global-greedy rounding, and the
+   effect of the refinement sweeps.
+4. CPLA criticality weighting: exponent 0 (the plain (4a) sum) vs the
+   default worst-path emphasis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.engine import CPLAConfig
+from repro.pipeline import prepare, run_method
+from repro.tila.engine import TILAConfig
+
+from benchmarks.conftest import bench_scale, write_result
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_tila_initial_multiplier_sensitivity(benchmark):
+    results = {}
+
+    def run_all():
+        for mu in (0.0, 0.1, 1.0, 10.0):
+            bench = prepare("adaptec1", scale=bench_scale())
+            results[mu] = run_method(
+                bench, "tila",
+                tila_config=TILAConfig(initial_multiplier=mu),
+            )
+        return len(results)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = Table(["initial mu", "Avg(Tcp)", "Max(Tcp)", "OV#"])
+    for mu, rep in results.items():
+        table.add_row(mu, rep.final_avg_tcp, rep.final_max_tcp, rep.final_via_overflow)
+    text = table.render()
+    write_result("ablation_tila_multiplier.txt", text)
+    print("\n" + text)
+    avgs = [r.final_avg_tcp for r in results.values()]
+    # All settings must still improve over the initial assignment...
+    for rep in results.values():
+        assert rep.final_avg_tcp <= rep.initial_avg_tcp
+    # ...and the spread documents the sensitivity (may be small at this scale).
+    assert max(avgs) / min(avgs) < 1.5
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_tila_via_linearization(benchmark):
+    results = {}
+
+    def run_all():
+        for model in ("linearized", "exact-dp"):
+            bench = prepare("adaptec1", scale=bench_scale())
+            results[model] = run_method(
+                bench, "tila", tila_config=TILAConfig(via_model=model)
+            )
+        return len(results)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lin = results["linearized"]
+    exact = results["exact-dp"]
+    text = (
+        f"linearized: avg={lin.final_avg_tcp:.1f} max={lin.final_max_tcp:.1f}\n"
+        f"exact-dp:   avg={exact.final_avg_tcp:.1f} max={exact.final_max_tcp:.1f}"
+    )
+    write_result("ablation_tila_via_model.txt", text)
+    print("\n" + text)
+    # Exact via coupling never hurts the DP's own objective: the paper's
+    # criticism (3) predicts linearization costs quality.
+    assert exact.final_avg_tcp <= lin.final_avg_tcp * 1.02
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_cpla_mapping_modes(benchmark):
+    results = {}
+
+    def run_all():
+        for mode, passes in (("paper", 2), ("greedy", 2), ("paper", 0)):
+            bench = prepare("adaptec1", scale=bench_scale())
+            results[(mode, passes)] = run_method(
+                bench, "sdp",
+                cpla_config=CPLAConfig(
+                    method="sdp", mapping_mode=mode, mapping_refine_passes=passes
+                ),
+            )
+        return len(results)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = Table(["mapping", "refine", "Avg(Tcp)", "Max(Tcp)"])
+    for (mode, passes), rep in results.items():
+        table.add_row(mode, passes, rep.final_avg_tcp, rep.final_max_tcp)
+    text = table.render()
+    write_result("ablation_mapping.txt", text)
+    print("\n" + text)
+    # Refinement must not hurt Alg. 1's result.
+    assert (
+        results[("paper", 2)].final_avg_tcp
+        <= results[("paper", 0)].final_avg_tcp * 1.02
+    )
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_cpla_criticality_weighting(benchmark):
+    results = {}
+
+    def run_all():
+        for exponent in (0.0, 2.0):
+            bench = prepare("adaptec1", scale=bench_scale())
+            results[exponent] = run_method(
+                bench, "sdp",
+                cpla_config=CPLAConfig(method="sdp", criticality_exponent=exponent),
+            )
+        return len(results)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    plain = results[0.0]
+    weighted = results[2.0]
+    text = (
+        f"exponent 0 (plain 4a sum): avg={plain.final_avg_tcp:.1f} "
+        f"max={plain.final_max_tcp:.1f}\n"
+        f"exponent 2 (worst-path):   avg={weighted.final_avg_tcp:.1f} "
+        f"max={weighted.final_max_tcp:.1f}"
+    )
+    write_result("ablation_weighting.txt", text)
+    print("\n" + text)
+    # The weighted objective must control the worst path at least as well.
+    assert weighted.final_max_tcp <= plain.final_max_tcp * 1.05

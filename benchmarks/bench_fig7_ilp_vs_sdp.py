@@ -1,0 +1,43 @@
+"""Fig. 7 — ILP formulation vs SDP relaxation on the six small cases.
+
+Paper claims: (a)/(b) the SDP relaxation achieves nearly the same average
+and maximum critical-path timing as the exact ILP; (c) SDP is much faster
+than ILP (GUROBI vs CSDP, 2016).
+
+Reproduced shape: the *quality* equivalence (a)/(b) holds — SDP lands within
+a few percent of ILP on both metrics.  The runtime ordering (c) does NOT
+transfer to this substrate and is reported as measured: our ILP stand-in is
+the 2024 HiGHS branch-and-bound, which dispatches the paper-sized (<=10
+segment) partition problems in milliseconds, while our SDP solver is a
+pure-Python first-order method.  EXPERIMENTS.md discusses the inversion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_fig7
+from repro.experiments.export import export_fig7
+from repro.ispd.suite import SMALL_CASES
+
+from benchmarks.conftest import RESULTS_DIR, bench_scale, write_result
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_ilp_vs_sdp(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig7(SMALL_CASES, ratio=0.005, scale=bench_scale()),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("fig7_ilp_vs_sdp.txt", result.rendered)
+    export_fig7(result, str(RESULTS_DIR / "plots"))
+    print("\n" + result.rendered)
+
+    # (a) + (b): SDP quality tracks the exact ILP closely on every case.
+    for name, per in result.reports.items():
+        assert per["sdp"].final_avg_tcp <= per["ilp"].final_avg_tcp * 1.10, name
+        assert per["sdp"].final_max_tcp <= per["ilp"].final_max_tcp * 1.15, name
+    # Aggregate quality within a few percent either way.
+    assert 0.9 < result.quality_ratio("avg") < 1.08
+    assert 0.9 < result.quality_ratio("max") < 1.12

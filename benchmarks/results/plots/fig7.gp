@@ -1,0 +1,4 @@
+set style data histogram
+set style fill solid 0.6
+set xlabel "benchmark"
+plot "fig7.dat" using 3:xtic(2) title "ILP Avg(Tcp)", "" using 4 title "SDP Avg(Tcp)"

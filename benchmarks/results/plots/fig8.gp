@@ -1,0 +1,4 @@
+set logscale y
+set xlabel "Segment# in each partition"
+set ylabel "Runtime (s)"
+plot "fig8_adaptec1.dat" using 1:4 with linespoints title "adaptec1", "fig8_adaptec2.dat" using 1:4 with linespoints title "adaptec2", "fig8_bigblue1.dat" using 1:4 with linespoints title "bigblue1"

@@ -1,0 +1,3 @@
+set xlabel "Critical Ratio (%)"
+set ylabel "Avg(Tcp)"
+plot "fig9.dat" using 1:2 with linespoints title "TILA", "fig9.dat" using 1:3 with linespoints title "SDP"

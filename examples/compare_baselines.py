@@ -1,0 +1,61 @@
+"""Compare TILA (baseline), exact ILP, and the SDP relaxation head-to-head.
+
+Reproduces the paper's central comparison on one benchmark: all three
+methods start from the identical initial routing/assignment and release the
+same critical nets; the script prints a Table-2-style row per method plus
+the Fig.-1-style pin-delay histograms.
+
+Usage::
+
+    python examples/compare_baselines.py [benchmark-name] [ratio-%] [scale]
+"""
+
+import sys
+
+import repro
+from repro.analysis.histogram import delay_histogram, render_histogram
+from repro.analysis.metrics import MethodMetrics, ratio_row
+from repro.analysis.report import Table
+from repro.core.engine import CPLAConfig
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "adaptec1"
+    ratio = float(sys.argv[2]) / 100.0 if len(sys.argv) > 2 else 0.005
+    scale = float(sys.argv[3]) if len(sys.argv) > 3 else 0.5
+
+    reports = {}
+    for method in ("tila", "ilp", "sdp"):
+        bench = repro.prepare(name, scale=scale)
+        print(f"running {method} ...")
+        reports[method] = repro.run_method(
+            bench, method, critical_ratio=ratio,
+            cpla_config=CPLAConfig() if method in ("ilp", "sdp") else None,
+        )
+
+    table = Table(["method", "Avg(Tcp)", "Max(Tcp)", "OV#", "via#", "CPU(s)"])
+    rows = {m: MethodMetrics.from_report(r) for m, r in reports.items()}
+    for method, m in rows.items():
+        table.add_row(method, m.avg_tcp, m.max_tcp, m.via_overflow, m.vias, m.cpu_seconds)
+    ratios = ratio_row(rows["sdp"], rows["tila"])
+    table.add_row(
+        "sdp/tila",
+        ratios["avg_tcp"], ratios["max_tcp"],
+        ratios["via_overflow"], ratios["vias"], ratios["cpu_seconds"],
+    )
+    print()
+    print(table.render())
+
+    # Fig. 1: pin-delay distribution of the released nets, per method.
+    all_delays = [
+        d for r in reports.values() for d in r.final_pin_delays
+    ]
+    lo, hi = min(all_delays), max(all_delays)
+    for method, rep in reports.items():
+        edges, counts = delay_histogram(rep.final_pin_delays, bins=12, lo=lo, hi=hi)
+        print()
+        print(render_histogram(edges, counts, title=f"{method}: sink-pin delays"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Explore the self-adaptive partitioning (Figs. 3(b), 4 and 8).
+
+Shows the data structures behind the paper's speed-up machinery:
+
+1. the routing-density map motivating *self-adaptive* (rather than uniform
+   K x K) partitioning — Fig. 3(b);
+2. the quadtree leaves produced for the released critical segments at a few
+   segment limits, with their size distribution — Fig. 4;
+3. a mini Fig. 8: quality and runtime of the SDP method across partition
+   granularities.
+
+Usage::
+
+    python examples/partition_tuning.py [benchmark-name] [scale]
+"""
+
+import sys
+from collections import Counter
+
+import repro
+from repro.analysis.congestion import congestion_stats, hotspots
+from repro.analysis.report import Table, density_map_text
+from repro.core.engine import CPLAConfig
+from repro.core.partition import self_adaptive_partition
+from repro.timing.critical import CriticalitySelector
+from repro.timing.elmore import ElmoreEngine
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "adaptec1"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+
+    bench = repro.prepare(name, scale=scale)
+
+    print(f"routing density of {name} (Fig. 3(b) style):\n")
+    print(density_map_text(bench.grid.density_map()))
+
+    stats = congestion_stats(bench.grid)
+    print(f"\ncongestion: {stats.summary()}")
+    print("hotspots:")
+    for edge, layer, util in hotspots(bench.grid, top=5):
+        print(f"  {edge} layer {layer}: {100 * util:.0f}% utilized")
+
+    engine = ElmoreEngine(bench.stack)
+    critical, _ = CriticalitySelector(engine).select(bench.nets, 0.005)
+    keyed = [
+        ((net.id, seg.id), seg)
+        for net in critical
+        for seg in net.topology.segments
+    ]
+    print(f"\n{len(critical)} released nets, {len(keyed)} critical segments")
+
+    print("\nquadtree leaves per segment limit (Fig. 4):")
+    table = Table(["max segs", "leaves", "sizes (count x size)"])
+    for limit in (5, 10, 20, 40):
+        leaves = self_adaptive_partition(
+            bench.grid.nx_tiles, bench.grid.ny_tiles, keyed, k=5, max_segments=limit
+        )
+        sizes = Counter(len(keys) for _, keys in leaves)
+        dist = " ".join(f"{n}x{s}" for s, n in sorted(sizes.items()))
+        table.add_row(limit, len(leaves), dist)
+    print(table.render())
+
+    print("\nmini Fig. 8: SDP quality/runtime vs partition size:")
+    sweep = Table(["max segs", "Avg(Tcp)", "Max(Tcp)", "CPU(s)"])
+    for limit in (5, 10, 40):
+        fresh = repro.prepare(name, scale=scale)
+        report = repro.run_method(
+            fresh, "sdp",
+            cpla_config=CPLAConfig(
+                method="sdp", max_iterations=3, max_segments_per_partition=limit
+            ),
+        )
+        sweep.add_row(limit, report.final_avg_tcp, report.final_max_tcp, report.runtime)
+    print(sweep.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so ``pip install -e .`` works on offline machines without the ``wheel``
+package (legacy ``--no-use-pep517`` editable installs need a setup.py).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""repro — reproduction of "Incremental Layer Assignment for Critical Path
+Timing" (Liu, Yu, Chowdhury, Pan; DAC 2016).
+
+The package implements the paper's contribution (CPLA: partitioned SDP/ILP
+critical-path layer assignment with post mapping) together with every
+substrate it needs: the 3-D grid model, ISPD'08 benchmark I/O plus a
+synthetic suite, a 2-D global router, Elmore timing, the TILA baseline, and
+from-scratch SDP / MILP / min-cost-flow solvers.
+
+Quick start::
+
+    import repro
+
+    bench = repro.prepare("adaptec1")          # route + initial assignment
+    report = repro.run_method(bench, "sdp")    # the paper's method
+    print(report.final_avg_tcp, report.final_max_tcp)
+
+See ``examples/`` for full comparisons and ``benchmarks/`` for the scripts
+regenerating each table and figure of the paper.
+"""
+
+from repro.analysis.runreport import RunReport
+from repro.core.engine import CPLAConfig, CPLAEngine
+from repro.ispd.benchmark import Benchmark
+from repro.ispd.suite import SUITE, load_benchmark
+from repro.pipeline import ComparisonResult, compare, prepare, run_method
+from repro.tila.engine import TILAConfig, TILAEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Benchmark",
+    "SUITE",
+    "load_benchmark",
+    "prepare",
+    "run_method",
+    "compare",
+    "ComparisonResult",
+    "RunReport",
+    "CPLAConfig",
+    "CPLAEngine",
+    "TILAConfig",
+    "TILAEngine",
+    "__version__",
+]

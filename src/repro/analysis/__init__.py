@@ -1,0 +1,18 @@
+"""Metrics, reports, and figure/table rendering for the evaluation."""
+
+from repro.analysis.runreport import IterationStats, RunReport
+from repro.analysis.metrics import benchmark_metrics, MethodMetrics
+from repro.analysis.histogram import delay_histogram, render_histogram
+from repro.analysis.report import Table, render_table, density_map_text
+
+__all__ = [
+    "IterationStats",
+    "RunReport",
+    "benchmark_metrics",
+    "MethodMetrics",
+    "delay_histogram",
+    "render_histogram",
+    "Table",
+    "render_table",
+    "density_map_text",
+]

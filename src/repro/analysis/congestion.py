@@ -1,0 +1,94 @@
+"""Congestion analytics over a routed grid.
+
+The paper motivates self-adaptive partitioning with the uneven routing
+density of Fig. 3(b); these helpers quantify that unevenness:
+
+- per-(edge, layer) utilization series and summary statistics;
+- hotspot extraction (the most-utilized edges);
+- a Gini coefficient of edge utilization — 0 means perfectly uniform
+  routing, values toward 1 mean demand concentrates in a few corridors
+  (the regime where uniform K x K partitioning wastes effort).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.grid.graph import Edge2D, GridGraph
+from repro.grid.layers import Direction
+
+
+@dataclass
+class CongestionStats:
+    """Summary of edge utilization across the whole grid."""
+
+    mean_utilization: float
+    max_utilization: float
+    p95_utilization: float
+    overflowed_edges: int
+    gini: float
+
+    def summary(self) -> str:
+        return (
+            f"util mean={self.mean_utilization:.2f} "
+            f"p95={self.p95_utilization:.2f} max={self.max_utilization:.2f} "
+            f"overflowed={self.overflowed_edges} gini={self.gini:.3f}"
+        )
+
+
+def _utilizations(grid: GridGraph) -> np.ndarray:
+    values = []
+    for layer in grid.stack:
+        orient = "H" if layer.direction is Direction.HORIZONTAL else "V"
+        cap = grid.capacity_array(layer.index).astype(np.float64)
+        use = grid.usage_array(layer.index).astype(np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            util = np.where(cap > 0, use / cap, 0.0)
+        values.append(util.ravel())
+        del orient
+    if not values:
+        return np.zeros(0)
+    return np.concatenate(values)
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini of a non-negative sample (0 = uniform, -> 1 = concentrated)."""
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    if v.size == 0 or v.sum() == 0:
+        return 0.0
+    n = v.size
+    index = np.arange(1, n + 1)
+    return float((2 * (index * v).sum() - (n + 1) * v.sum()) / (n * v.sum()))
+
+
+def congestion_stats(grid: GridGraph) -> CongestionStats:
+    """Utilization statistics of every (edge, layer) in the grid."""
+    utils = _utilizations(grid)
+    if utils.size == 0:
+        return CongestionStats(0.0, 0.0, 0.0, 0, 0.0)
+    return CongestionStats(
+        mean_utilization=float(utils.mean()),
+        max_utilization=float(utils.max()),
+        p95_utilization=float(np.percentile(utils, 95)),
+        overflowed_edges=int((utils > 1.0).sum()),
+        gini=gini_coefficient(utils),
+    )
+
+
+def hotspots(grid: GridGraph, top: int = 10) -> List[Tuple[Edge2D, int, float]]:
+    """The ``top`` most-utilized (edge, layer) pairs with their utilization."""
+    entries: List[Tuple[Edge2D, int, float]] = []
+    for layer in grid.stack:
+        orient = "H" if layer.direction is Direction.HORIZONTAL else "V"
+        for edge in grid.iter_edges(orient):
+            cap = grid.capacity(edge, layer.index)
+            if cap <= 0:
+                continue
+            util = grid.usage(edge, layer.index) / cap
+            if util > 0:
+                entries.append((edge, layer.index, util))
+    entries.sort(key=lambda e: (-e[2], e[0], e[1]))
+    return entries[:top]

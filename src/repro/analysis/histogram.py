@@ -1,0 +1,63 @@
+"""Pin-delay distribution histograms (Fig. 1 of the paper).
+
+Fig. 1 plots sink-pin delay counts of the released critical nets on a
+log-2 vertical axis; :func:`render_histogram` reproduces that as text so
+runs are comparable in a terminal or a log file.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def delay_histogram(
+    delays: Sequence[float],
+    bins: int = 14,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Bin delays into ``bins`` equal-width buckets; returns (edges, counts)."""
+    if bins < 1:
+        raise ValueError("need at least one bin")
+    data = np.asarray(list(delays), dtype=np.float64)
+    if data.size == 0:
+        edges = np.linspace(0.0, 1.0, bins + 1)
+        return edges, np.zeros(bins, dtype=np.int64)
+    lo = float(data.min()) if lo is None else lo
+    hi = float(data.max()) if hi is None else hi
+    if hi <= lo:
+        hi = lo + 1.0
+    counts, edges = np.histogram(data, bins=bins, range=(lo, hi))
+    return edges, counts.astype(np.int64)
+
+
+def render_histogram(
+    edges: np.ndarray,
+    counts: np.ndarray,
+    title: str = "",
+    width: int = 48,
+    log2: bool = True,
+) -> str:
+    """ASCII rendering with an (optionally) log-2 bar length, as in Fig. 1."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    peak = max(int(counts.max()), 1) if len(counts) else 1
+    denom = math.log2(peak + 1) if log2 else float(peak)
+    for k, count in enumerate(counts):
+        if log2:
+            frac = math.log2(count + 1) / denom if denom > 0 else 0.0
+        else:
+            frac = count / denom if denom > 0 else 0.0
+        bar = "#" * max(int(round(frac * width)), 1 if count else 0)
+        lines.append(f"[{edges[k]:>12.1f}, {edges[k + 1]:>12.1f})  {count:>6d}  {bar}")
+    return "\n".join(lines)
+
+
+def tail_mass(delays: Sequence[float], threshold: float) -> int:
+    """How many sink delays exceed ``threshold`` — the 'pins with delay over
+    4.2e6' comparison the paper makes about Fig. 1."""
+    return int(sum(1 for d in delays if d > threshold))

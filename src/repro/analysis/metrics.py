@@ -1,0 +1,79 @@
+"""Table-2-style metric rows and aggregate ratios."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.runreport import RunReport
+
+
+@dataclass
+class MethodMetrics:
+    """One benchmark x method row of Table 2."""
+
+    benchmark: str
+    method: str
+    avg_tcp: float
+    max_tcp: float
+    via_overflow: int
+    vias: int
+    cpu_seconds: float
+
+    @classmethod
+    def from_report(cls, report: RunReport) -> "MethodMetrics":
+        return cls(
+            benchmark=report.benchmark,
+            method=report.method,
+            avg_tcp=report.final_avg_tcp,
+            max_tcp=report.final_max_tcp,
+            via_overflow=report.final_via_overflow,
+            vias=report.final_vias,
+            cpu_seconds=report.runtime,
+        )
+
+
+def benchmark_metrics(report: RunReport) -> MethodMetrics:
+    """Convenience wrapper for :meth:`MethodMetrics.from_report`."""
+    return MethodMetrics.from_report(report)
+
+
+def average_row(rows: Sequence[MethodMetrics], method: str) -> MethodMetrics:
+    """Arithmetic mean over benchmarks (the paper's ``average`` row)."""
+    if not rows:
+        raise ValueError("cannot average zero rows")
+    n = len(rows)
+    return MethodMetrics(
+        benchmark="average",
+        method=method,
+        avg_tcp=sum(r.avg_tcp for r in rows) / n,
+        max_tcp=sum(r.max_tcp for r in rows) / n,
+        via_overflow=int(round(sum(r.via_overflow for r in rows) / n)),
+        vias=int(round(sum(r.vias for r in rows) / n)),
+        cpu_seconds=sum(r.cpu_seconds for r in rows) / n,
+    )
+
+
+def ratio_row(ours: MethodMetrics, baseline: MethodMetrics) -> Dict[str, float]:
+    """Per-column ratio of ``ours`` to ``baseline`` (paper's ``ratio`` row,
+    where the baseline normalizes to 1.00)."""
+
+    def safe(a: float, b: float) -> float:
+        return a / b if b else float("nan")
+
+    return {
+        "avg_tcp": safe(ours.avg_tcp, baseline.avg_tcp),
+        "max_tcp": safe(ours.max_tcp, baseline.max_tcp),
+        "via_overflow": safe(ours.via_overflow, baseline.via_overflow),
+        "vias": safe(ours.vias, baseline.vias),
+        "cpu_seconds": safe(ours.cpu_seconds, baseline.cpu_seconds),
+    }
+
+
+def collect_by_method(
+    reports: Sequence[RunReport], method: Optional[str] = None
+) -> List[MethodMetrics]:
+    rows = [MethodMetrics.from_report(r) for r in reports]
+    if method is not None:
+        rows = [r for r in rows if r.method == method]
+    return rows

@@ -1,0 +1,85 @@
+"""Text tables and maps for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+import numpy as np
+
+Cell = Union[str, int, float]
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table."""
+
+    headers: List[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def render(self, float_format: str = "{:.2f}") -> str:
+        return render_table(self.headers, self.rows, float_format)
+
+    def render_csv(self, float_format: str = "{:.6g}") -> str:
+        """Comma-separated rendering for downstream tooling/plotting."""
+        lines = [",".join(self.headers)]
+        for row in self.rows:
+            lines.append(
+                ",".join(_format_cell(c, float_format).replace(",", ";") for c in row)
+            )
+        return "\n".join(lines)
+
+
+def _format_cell(cell: Cell, float_format: str) -> str:
+    if isinstance(cell, float):
+        return float_format.format(cell)
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows under headers with right-aligned numeric columns."""
+    text_rows = [[_format_cell(c, float_format) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(widths[k]) for k, h in enumerate(headers)), sep]
+    for row in text_rows:
+        lines.append(" | ".join(cell.rjust(widths[k]) for k, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+_SHADES = " .:-=+*#%@"
+
+
+def density_map_text(density: np.ndarray, width: int = 64) -> str:
+    """ASCII heat map of a 2-D density array (Fig. 3(b)-style view).
+
+    The array is oriented with y increasing upward, x rightward.
+    """
+    dens = np.asarray(density, dtype=np.float64)
+    if dens.ndim != 2:
+        raise ValueError("density must be 2-D")
+    peak = dens.max()
+    if peak <= 0:
+        peak = 1.0
+    lines = []
+    for y in range(dens.shape[1] - 1, -1, -1):
+        chars = []
+        for x in range(dens.shape[0]):
+            level = int(dens[x, y] / peak * (len(_SHADES) - 1))
+            chars.append(_SHADES[level])
+        lines.append("".join(chars))
+    return "\n".join(lines)

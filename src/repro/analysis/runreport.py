@@ -1,0 +1,65 @@
+"""Shared run-report container.
+
+Both the CPLA engine (the paper's method) and the TILA baseline emit a
+:class:`RunReport`, so the evaluation harness can tabulate them uniformly
+(Table 2, Figs. 1 and 7-9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.utils import WallClock
+
+
+@dataclass
+class IterationStats:
+    """Diagnostics of one optimizer iteration."""
+
+    index: int
+    num_partitions: int
+    num_segments: int
+    avg_tcp: float
+    max_tcp: float
+    accepted: bool
+
+
+@dataclass
+class RunReport:
+    """Everything the evaluation section needs from one optimizer run."""
+
+    benchmark: str
+    method: str
+    critical_ratio: float
+    critical_net_ids: List[int] = field(default_factory=list)
+    initial_avg_tcp: float = 0.0
+    initial_max_tcp: float = 0.0
+    final_avg_tcp: float = 0.0
+    final_max_tcp: float = 0.0
+    initial_via_overflow: int = 0
+    final_via_overflow: int = 0
+    initial_vias: int = 0
+    final_vias: int = 0
+    initial_pin_delays: List[float] = field(default_factory=list)
+    final_pin_delays: List[float] = field(default_factory=list)
+    iterations: List[IterationStats] = field(default_factory=list)
+    clock: WallClock = field(default_factory=WallClock)
+
+    @property
+    def runtime(self) -> float:
+        """Total optimizer wall-clock seconds (the CPU(s) column)."""
+        return self.clock.total
+
+    @property
+    def avg_improvement(self) -> float:
+        """Fractional Avg(Tcp) reduction versus the initial assignment."""
+        if self.initial_avg_tcp == 0:
+            return 0.0
+        return 1.0 - self.final_avg_tcp / self.initial_avg_tcp
+
+    @property
+    def max_improvement(self) -> float:
+        if self.initial_max_tcp == 0:
+            return 0.0
+        return 1.0 - self.final_max_tcp / self.initial_max_tcp

@@ -1,0 +1,47 @@
+"""The paper's contribution: critical-path layer assignment (CPLA).
+
+Pipeline per Section 3:
+
+1. :mod:`repro.core.partition` — K x K division plus self-adaptive quadruple
+   (quadtree) refinement until every leaf holds at most ``max_segments``
+   critical segments.
+2. :mod:`repro.core.problem` — extraction of the per-partition optimization
+   instance: segment variables with Elmore costs (Eqn. 2), via pair terms
+   (Eqn. 3), boundary/pin linear terms, and contended capacity constraints.
+3. :mod:`repro.core.ilp` — the exact formulation (4a)-(4i) on HiGHS.
+4. :mod:`repro.core.sdp_relaxation` — the SDP relaxation ``min <T, X>``.
+5. :mod:`repro.core.mapping` — the post-mapping algorithm (Alg. 1) that
+   recovers a capacity-feasible integer assignment.
+6. :mod:`repro.core.engine` — the iterative incremental framework.
+"""
+
+from repro.core.partition import Region, kxk_regions, self_adaptive_partition
+from repro.core.problem import (
+    CapacityConstraint,
+    PairTerm,
+    PartitionProblem,
+    SegmentVar,
+    extract_partition_problem,
+)
+from repro.core.ilp import IlpPartitionSolver
+from repro.core.sdp_relaxation import SdpPartitionSolver
+from repro.core.mapping import CapacityLedger, post_map
+from repro.core.engine import CPLAConfig, CPLAEngine, CPLAReport
+
+__all__ = [
+    "Region",
+    "kxk_regions",
+    "self_adaptive_partition",
+    "CapacityConstraint",
+    "PairTerm",
+    "PartitionProblem",
+    "SegmentVar",
+    "extract_partition_problem",
+    "IlpPartitionSolver",
+    "SdpPartitionSolver",
+    "CapacityLedger",
+    "post_map",
+    "CPLAConfig",
+    "CPLAEngine",
+    "CPLAReport",
+]

@@ -1,0 +1,191 @@
+"""Exact ILP formulation (4a)-(4i) of the per-partition problem.
+
+Solved with HiGHS through :class:`repro.solver.milp.MilpModel`.  Notes on
+the encoding relative to the paper:
+
+- ``x_ij`` are binaries; the product variables ``y_ijpq`` are *continuous*
+  in [0, 1] with the lower-bounding row (4g) ``y >= x_ij + x_pq - 1``.
+  Every ``y`` carries a non-negative via cost, so minimization pins it to
+  ``max(0, x_ij + x_pq - 1)``, which over binary ``x`` equals the product —
+  the same feasible set as (4e)-(4h) with fewer rows and no extra integers.
+- Via capacity (4d) is included per (tile, cut) with the shared overflow
+  variable ``Vo`` weighted by ``alpha`` (the paper uses 2000), including
+  the ``nv (x_ij + x_pq)`` wire-blockage term.
+- Edge capacities (4c) come pre-filtered by the problem extraction: only
+  contended rows exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.problem import PartitionProblem
+from repro.grid.graph import GridGraph, Tile
+from repro.solver.milp import MilpModel
+from repro.utils import get_logger
+
+log = get_logger(__name__)
+
+
+@dataclass
+class IlpConfig:
+    """Options of the exact partition solver."""
+
+    overflow_weight: float = 2000.0  # alpha of Section 3.1
+    time_limit: Optional[float] = 120.0  # seconds per partition
+    include_via_capacity: bool = True
+
+
+@dataclass
+class IlpSolveInfo:
+    """Diagnostics of one exact solve."""
+
+    num_variables: int
+    num_pairs: int
+    status: str
+    objective: float
+
+
+class IlpPartitionSolver:
+    """Solves a :class:`PartitionProblem` exactly.
+
+    The returned "fractional" values are one-hot, so the same post-mapping
+    code path finalizes both ILP and SDP results (the mapper is a no-op on
+    one-hot inputs unless capacities force a change).
+    """
+
+    def __init__(
+        self, config: Optional[IlpConfig] = None, grid: Optional[GridGraph] = None
+    ) -> None:
+        self.config = config or IlpConfig()
+        self.grid = grid
+
+    def solve(self, problem: PartitionProblem) -> Tuple[List[np.ndarray], IlpSolveInfo]:
+        grid = self.grid
+        if problem.num_vars == 0:
+            return [], IlpSolveInfo(0, 0, "optimal", 0.0)
+
+        model = MilpModel()
+        objective: Dict[str, float] = {}
+
+        def xname(v: int, k: int) -> str:
+            return f"x_{v}_{k}"
+
+        def yname(p: int, i: int, j: int) -> str:
+            return f"y_{p}_{i}_{j}"
+
+        for v, var in enumerate(problem.vars):
+            for k in range(len(var.layers)):
+                model.add_binary(xname(v, k))
+                objective[xname(v, k)] = float(var.cost[k])
+            # (4b)
+            model.add_eq({xname(v, k): 1.0 for k in range(len(var.layers))}, 1.0)
+
+        for p, pair in enumerate(problem.pairs):
+            va, vb = problem.vars[pair.a], problem.vars[pair.b]
+            for i in range(len(va.layers)):
+                for j in range(len(vb.layers)):
+                    cost = float(pair.cost[i, j])
+                    name = yname(p, i, j)
+                    model.add_continuous(name, 0.0, 1.0)
+                    if cost:
+                        objective[name] = cost
+                    # (4g): y >= x_a + x_b - 1
+                    model.add_ge(
+                        {
+                            name: 1.0,
+                            xname(pair.a, i): -1.0,
+                            xname(pair.b, j): -1.0,
+                        },
+                        -1.0,
+                    )
+
+        # (4c): contended edge capacities (hard, as in the paper).
+        for con in problem.cap_constraints:
+            expr: Dict[str, float] = {}
+            for v in con.var_indices:
+                var = problem.vars[v]
+                if con.layer in var.layers:
+                    expr[xname(v, var.layers.index(con.layer))] = 1.0
+            if expr:
+                model.add_le(expr, float(con.capacity))
+
+        # (4d): via capacities with the shared relaxation variable Vo.
+        if self.config.include_via_capacity and grid is not None and problem.pairs:
+            model.add_continuous("Vo", 0.0, np.inf)
+            objective["Vo"] = self.config.overflow_weight
+            self._add_via_capacity_rows(model, problem, grid, xname, yname)
+
+        model.set_objective(objective)
+        result = model.solve(time_limit=self.config.time_limit)
+
+        if not result.ok:
+            log.warning("ILP partition solve ended with status %s", result.status)
+            # Fall back to the current assignment: one-hot on current layers.
+            x_values = [
+                _one_hot(var.layers, var.current_layer) for var in problem.vars
+            ]
+            return x_values, IlpSolveInfo(
+                model.num_variables, len(problem.pairs), result.status, float("nan")
+            )
+
+        x_values = []
+        for v, var in enumerate(problem.vars):
+            vals = np.array(
+                [result.values[xname(v, k)] for k in range(len(var.layers))]
+            )
+            x_values.append(np.clip(vals, 0.0, 1.0))
+        info = IlpSolveInfo(
+            num_variables=model.num_variables,
+            num_pairs=len(problem.pairs),
+            status=result.status,
+            objective=result.objective,
+        )
+        return x_values, info
+
+    def _add_via_capacity_rows(
+        self, model: MilpModel, problem: PartitionProblem, grid: GridGraph, xname, yname
+    ) -> None:
+        # Group pair terms by junction tile.
+        by_tile: Dict[Tile, List[int]] = {}
+        for p, pair in enumerate(problem.pairs):
+            by_tile.setdefault(pair.tile, []).append(p)
+
+        nv = grid.vias_per_track
+        for tile in sorted(by_tile):
+            cuts = range(1, grid.stack.num_layers)
+            for cut in cuts:
+                expr: Dict[str, float] = {}
+                for p in by_tile[tile]:
+                    pair = problem.pairs[p]
+                    va, vb = problem.vars[pair.a], problem.vars[pair.b]
+                    for i, lj in enumerate(va.layers):
+                        for j, lq in enumerate(vb.layers):
+                            lo, hi = min(lj, lq), max(lj, lq)
+                            if lo <= cut < hi:
+                                expr[yname(p, i, j)] = expr.get(yname(p, i, j), 0.0) + 1.0
+                    # nv * (x_ij + x_pq) for segments sitting at this tile on
+                    # the cut's bounding layers.
+                    for vv, var in ((pair.a, va), (pair.b, vb)):
+                        if tile in var.segment.tiles():
+                            for k, layer in enumerate(var.layers):
+                                if layer in (cut, cut + 1):
+                                    key = xname(vv, k)
+                                    expr[key] = expr.get(key, 0.0) + nv
+                if not expr:
+                    continue
+                capacity = grid.via_capacity(tile, cut) - grid.via_usage_at(tile, cut)
+                expr["Vo"] = -1.0
+                model.add_le(expr, float(capacity))
+
+
+def _one_hot(layers: Tuple[int, ...], layer: int) -> np.ndarray:
+    out = np.zeros(len(layers))
+    if layer in layers:
+        out[layers.index(layer)] = 1.0
+    else:
+        out[0] = 1.0
+    return out

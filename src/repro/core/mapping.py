@@ -1,0 +1,352 @@
+"""Post-mapping (Algorithm 1 of the paper).
+
+The SDP returns fractional ``x_ij``; this module recovers an integer,
+capacity-feasible assignment.  As in Alg. 1, edges holding critical segments
+are traversed and layers scanned from the top of the stack downward (higher
+layers are less resistive and "more competitive"), assigning up to
+``cap_e(j)`` segments by decreasing relaxation value and updating the
+remaining capacity — including the capacity of *every other* edge a
+multi-G-cell segment crosses.
+
+Two refinements over the literal pseudo-code:
+
+- a segment is only taken at layer ``j`` when ``j`` is its best *still
+  feasible* layer (otherwise a high layer with slack would swallow segments
+  whose relaxation mass sits elsewhere);
+- a final fallback pass guarantees every segment gets a direction-legal
+  layer even when capacities are exhausted (pre-existing overflow inputs),
+  preferring feasible layers.
+
+Capacity state lives in a :class:`CapacityLedger` shared across the
+partitions of one engine iteration, so two leaves touching the same edge
+cannot jointly overfill it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.grid.graph import Edge2D, GridGraph
+from repro.core.problem import PartitionProblem
+
+_EPS = 1e-9
+
+
+class CapacityLedger:
+    """Remaining (edge, layer) tracks, lazily initialized from the grid.
+
+    The grid must be in the released state when the ledger is created; the
+    ledger then absorbs every assignment the post-mapper makes, across all
+    partitions of the iteration.
+    """
+
+    def __init__(self, grid: GridGraph) -> None:
+        self.grid = grid
+        self._remaining: Dict[Tuple[Edge2D, int], int] = {}
+        self.overflow_events = 0
+
+    def remaining(self, edge: Edge2D, layer: int) -> int:
+        key = (edge, layer)
+        if key not in self._remaining:
+            self._remaining[key] = max(self.grid.remaining(edge, layer), 0)
+        return self._remaining[key]
+
+    def can_fit(self, edges: Iterable[Edge2D], layer: int) -> bool:
+        return all(self.remaining(e, layer) > 0 for e in edges)
+
+    def consume(self, edges: Iterable[Edge2D], layer: int) -> None:
+        """Occupy one track on each edge; counts an overflow event when a
+        track was not actually available (fallback assignments)."""
+        for e in edges:
+            r = self.remaining(e, layer)
+            if r <= 0:
+                self.overflow_events += 1
+            self._remaining[(e, layer)] = r - 1
+
+    def release(self, edges: Iterable[Edge2D], layer: int) -> None:
+        """Give back one track on each edge (inverse of :meth:`consume`)."""
+        for e in edges:
+            self._remaining[(e, layer)] = self.remaining(e, layer) + 1
+
+
+def post_map(
+    problem: PartitionProblem,
+    x_values: Sequence[np.ndarray],
+    ledger: CapacityLedger,
+    mode: str = "paper",
+    refine_passes: int = 2,
+) -> List[int]:
+    """Map fractional per-layer values to one layer per variable.
+
+    ``x_values[k]`` aligns with ``problem.vars[k].layers``.  Returns the
+    chosen layer per variable, and consumes the ledger accordingly.
+
+    ``refine_passes`` rounds of capacity-aware coordinate descent polish the
+    rounded solution against the partition objective — rounding noise of the
+    relaxation is local, so a couple of sweeps recover it.
+    """
+    if mode not in ("paper", "greedy"):
+        raise ValueError(f"unknown mapping mode {mode!r}")
+    if len(x_values) != problem.num_vars:
+        raise ValueError("x_values must align with problem.vars")
+
+    chosen: Dict[int, int] = {}
+    if mode == "paper":
+        _map_paper(problem, x_values, ledger, chosen)
+    else:
+        _map_greedy(problem, x_values, ledger, chosen)
+    _fallback(problem, x_values, ledger, chosen)
+    layers = [chosen[i] for i in range(problem.num_vars)]
+    if refine_passes > 0:
+        _refine(problem, layers, ledger, refine_passes)
+    return layers
+
+
+def _refine(
+    problem: PartitionProblem,
+    layers: List[int],
+    ledger: CapacityLedger,
+    passes: int,
+) -> None:
+    """Block coordinate descent at *net-fragment* granularity.
+
+    Pair terms never span nets, so the pair graph inside a partition is a
+    forest of per-net fragments; within one fragment the segments occupy
+    disjoint edges, making an exact capacity-hard tree DP valid.  Sweeping
+    fragments (rather than single segments) lets whole chains of a critical
+    path move together — single-segment descent gets stuck when each move
+    alone raises the via cost.
+    """
+    fragments = _pair_fragments(problem)
+    for _ in range(passes):
+        changed = False
+        for roots, comp_vars in fragments:
+            if _optimize_fragment(problem, layers, ledger, roots, comp_vars):
+                changed = True
+        if not changed:
+            break
+
+
+def _pair_fragments(problem: PartitionProblem):
+    """Connected components of the pair forest: (root vars, member vars)."""
+    children: Dict[int, List[Tuple[int, int]]] = {
+        i: [] for i in range(problem.num_vars)
+    }
+    has_parent: Dict[int, bool] = {i: False for i in range(problem.num_vars)}
+    for p, pair in enumerate(problem.pairs):
+        children[pair.a].append((pair.b, p))
+        has_parent[pair.b] = True
+
+    seen: Dict[int, bool] = {}
+    fragments = []
+    for idx in range(problem.num_vars):
+        if has_parent[idx] or idx in seen:
+            continue
+        comp = []
+        stack = [idx]
+        while stack:
+            v = stack.pop()
+            if v in seen:
+                continue
+            seen[v] = True
+            comp.append(v)
+            stack.extend(c for c, _ in children[v])
+        fragments.append(([idx], comp))
+    # `children` is needed by the DP; stash it on the function's return.
+    return [
+        (_FragmentPlan(roots, comp, children), comp)
+        for roots, comp in fragments
+    ]
+
+
+class _FragmentPlan:
+    def __init__(self, roots, comp, children):
+        self.roots = roots
+        self.comp = comp
+        self.children = children
+
+
+def _optimize_fragment(
+    problem: PartitionProblem,
+    layers: List[int],
+    ledger: CapacityLedger,
+    plan: "_FragmentPlan",
+    comp_vars: List[int],
+) -> bool:
+    """Exact tree DP over one fragment under current ledger capacities."""
+    # Free the fragment's own tracks, then choose jointly.
+    for idx in comp_vars:
+        ledger.release(_seg_edges(problem, idx), layers[idx])
+
+    pair_cost: Dict[Tuple[int, int], "np.ndarray"] = {}
+    for p, pair in enumerate(problem.pairs):
+        pair_cost[(pair.a, pair.b)] = pair.cost
+
+    dp: Dict[int, Dict[int, float]] = {}
+    choice: Dict[Tuple[int, int, int], int] = {}
+
+    def feasible_layers(idx: int) -> List[int]:
+        var = problem.vars[idx]
+        edges = _seg_edges(problem, idx)
+        good = [l for l in var.layers if ledger.can_fit(edges, l)]
+        # Always allow the current layer so a solution exists even under
+        # pre-existing overflow (consuming it again is net neutral).
+        if layers[idx] not in good:
+            good.append(layers[idx])
+        return good
+
+    order: List[int] = []
+    stack = list(plan.roots)
+    while stack:
+        v = stack.pop()
+        order.append(v)
+        stack.extend(c for c, _ in plan.children[v])
+
+    for v in reversed(order):
+        var = problem.vars[v]
+        dp[v] = {}
+        for layer in feasible_layers(v):
+            li = var.layer_index(layer)
+            total = float(var.cost[li])
+            for child, p in plan.children[v]:
+                cvar = problem.vars[child]
+                cost_matrix = problem.pairs[p].cost
+                best = None
+                best_layer = None
+                for clayer in dp[child]:
+                    c = dp[child][clayer] + float(
+                        cost_matrix[li, cvar.layer_index(clayer)]
+                    )
+                    if best is None or c < best:
+                        best, best_layer = c, clayer
+                assert best is not None
+                total += best
+                choice[(v, layer, child)] = best_layer
+            dp[v][layer] = total
+
+    changed = False
+    for root in plan.roots:
+        best_layer = min(dp[root], key=dp[root].get)
+        frontier = [(root, best_layer)]
+        while frontier:
+            v, layer = frontier.pop()
+            if layers[v] != layer:
+                layers[v] = layer
+                changed = True
+            for child, _ in plan.children[v]:
+                frontier.append((child, choice[(v, layer, child)]))
+
+    for idx in comp_vars:
+        ledger.consume(_seg_edges(problem, idx), layers[idx])
+    return changed
+
+
+def _seg_edges(problem: PartitionProblem, idx: int) -> List[Edge2D]:
+    return problem.vars[idx].segment.edges()
+
+
+def _best_feasible_layer(
+    problem: PartitionProblem,
+    x_values: Sequence[np.ndarray],
+    ledger: CapacityLedger,
+    idx: int,
+) -> Optional[int]:
+    var = problem.vars[idx]
+    edges = _seg_edges(problem, idx)
+    best: Optional[Tuple[float, int]] = None
+    for k, layer in enumerate(var.layers):
+        if not ledger.can_fit(edges, layer):
+            continue
+        score = float(x_values[idx][k])
+        if best is None or score > best[0] + _EPS:
+            best = (score, layer)
+    return None if best is None else best[1]
+
+
+def _map_paper(
+    problem: PartitionProblem,
+    x_values: Sequence[np.ndarray],
+    ledger: CapacityLedger,
+    chosen: Dict[int, int],
+) -> None:
+    # Group variables by the edges their segments cross.
+    edge_vars: Dict[Edge2D, List[int]] = {}
+    for idx in range(problem.num_vars):
+        for edge in _seg_edges(problem, idx):
+            edge_vars.setdefault(edge, []).append(idx)
+
+    grid = ledger.grid
+    for edge in sorted(edge_vars):
+        layers_desc = tuple(reversed(grid.layers_for_edge(edge)))
+        for layer in layers_desc:
+            budget = ledger.remaining(edge, layer)
+            if budget <= 0:
+                continue
+            candidates = [
+                idx
+                for idx in edge_vars[edge]
+                if idx not in chosen and layer in problem.vars[idx].layers
+            ]
+            # "Select the cap_e(j) highest x_ij on edge e" (Alg. 1 line 5).
+            candidates.sort(
+                key=lambda idx: (
+                    -float(x_values[idx][problem.vars[idx].layers.index(layer)]),
+                    float(problem.vars[idx].cost[problem.vars[idx].layers.index(layer)]),
+                    problem.vars[idx].key,
+                )
+            )
+            taken = 0
+            for idx in candidates:
+                if taken >= budget:
+                    break
+                edges = _seg_edges(problem, idx)
+                if not ledger.can_fit(edges, layer):
+                    continue
+                if _best_feasible_layer(problem, x_values, ledger, idx) != layer:
+                    continue
+                ledger.consume(edges, layer)
+                chosen[idx] = layer
+                taken += 1
+
+
+def _map_greedy(
+    problem: PartitionProblem,
+    x_values: Sequence[np.ndarray],
+    ledger: CapacityLedger,
+    chosen: Dict[int, int],
+) -> None:
+    """Ablation mode: one global pass ordered by relaxation value."""
+    scored = [
+        (float(x_values[idx][k]), idx, layer)
+        for idx in range(problem.num_vars)
+        for k, layer in enumerate(problem.vars[idx].layers)
+    ]
+    scored.sort(key=lambda t: (-t[0], problem.vars[t[1]].key, -t[2]))
+    for _, idx, layer in scored:
+        if idx in chosen:
+            continue
+        edges = _seg_edges(problem, idx)
+        if ledger.can_fit(edges, layer):
+            ledger.consume(edges, layer)
+            chosen[idx] = layer
+
+
+def _fallback(
+    problem: PartitionProblem,
+    x_values: Sequence[np.ndarray],
+    ledger: CapacityLedger,
+    chosen: Dict[int, int],
+) -> None:
+    """Assign anything left, preferring feasible layers, then best-x."""
+    for idx in range(problem.num_vars):
+        if idx in chosen:
+            continue
+        var = problem.vars[idx]
+        layer = _best_feasible_layer(problem, x_values, ledger, idx)
+        if layer is None:
+            k = int(np.argmax(x_values[idx]))
+            layer = var.layers[k]
+        ledger.consume(_seg_edges(problem, idx), layer)
+        chosen[idx] = layer

@@ -1,0 +1,137 @@
+"""Self-adaptive quadruple partitioning (Section 3.2 of the paper).
+
+The grid is first cut into ``K x K`` uniform regions; each region is then
+recursively quad-split while it holds more than ``max_segments`` critical
+segments, producing the quadtree of Fig. 4.  Splitting stops at single-tile
+regions regardless (the paper's deadlock guard: "if the current partition
+size is smaller than the tile width/height ... the partition should stop").
+
+Segments are bucketed by their geometric midpoint, so every critical segment
+lands in exactly one leaf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Sequence, Tuple
+
+from repro.route.net import Segment
+
+
+@dataclass(frozen=True)
+class Region:
+    """A half-open rectangle of tile space: ``[x0, x1) x [y0, y1)``."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x1 <= self.x0 or self.y1 <= self.y0:
+            raise ValueError(f"empty region {self}")
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.x0 <= x < self.x1 and self.y0 <= y < self.y1
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    def quad_children(self) -> Tuple["Region", ...]:
+        """The four quadrants (degenerates to 2 or 1 for thin regions)."""
+        mx = (self.x0 + self.x1) / 2.0
+        my = (self.y0 + self.y1) / 2.0
+        xs = [(self.x0, mx), (mx, self.x1)] if self.width > 1 else [(self.x0, self.x1)]
+        ys = [(self.y0, my), (my, self.y1)] if self.height > 1 else [(self.y0, self.y1)]
+        return tuple(
+            Region(x0, y0, x1, y1) for (x0, x1) in xs for (y0, y1) in ys
+        )
+
+    @property
+    def is_atomic(self) -> bool:
+        """True once the region cannot be split further (about one tile)."""
+        return self.width <= 1 and self.height <= 1
+
+
+def kxk_regions(nx_tiles: int, ny_tiles: int, k: int) -> List[Region]:
+    """The initial uniform ``K x K`` division of an ``nx x ny`` grid."""
+    if k < 1:
+        raise ValueError("K must be >= 1")
+    k = min(k, nx_tiles, ny_tiles)
+    out = []
+    for i in range(k):
+        x0 = nx_tiles * i / k
+        x1 = nx_tiles * (i + 1) / k
+        for j in range(k):
+            y0 = ny_tiles * j / k
+            y1 = ny_tiles * (j + 1) / k
+            out.append(Region(x0, y0, x1, y1))
+    return out
+
+
+Keyed = Tuple[Hashable, Segment]
+
+
+def self_adaptive_partition(
+    nx_tiles: int,
+    ny_tiles: int,
+    segments: Sequence[Keyed],
+    k: int,
+    max_segments: int,
+) -> List[Tuple[Region, List[Hashable]]]:
+    """Partition keyed segments into balanced leaves.
+
+    Parameters
+    ----------
+    segments:
+        ``(key, segment)`` pairs; the key is whatever identifies the segment
+        to the caller (CPLA uses ``(net_id, seg_id)``).
+    k:
+        Initial K x K granularity.
+    max_segments:
+        Quad-split any region holding more than this many segments (the
+        paper's default is 10).
+
+    Returns leaves that actually contain segments, each as
+    ``(region, [keys])``; keys keep the input order within a leaf.
+    """
+    if max_segments < 1:
+        raise ValueError("max_segments must be >= 1")
+
+    def midpoint(seg: Segment) -> Tuple[float, float]:
+        mx, my = seg.midpoint()
+        # Nudge inside the grid so boundary midpoints bucket deterministically.
+        return min(mx, nx_tiles - 0.5), min(my, ny_tiles - 0.5)
+
+    leaves: List[Tuple[Region, List[Hashable]]] = []
+    stack: List[Tuple[Region, List[Keyed]]] = []
+    for region in kxk_regions(nx_tiles, ny_tiles, k):
+        inside = [
+            (key, seg)
+            for key, seg in segments
+            if region.contains_point(*midpoint(seg))
+        ]
+        if inside:
+            stack.append((region, inside))
+
+    while stack:
+        region, inside = stack.pop()
+        if len(inside) <= max_segments or region.is_atomic:
+            leaves.append((region, [key for key, _ in inside]))
+            continue
+        for child in region.quad_children():
+            child_inside = [
+                (key, seg)
+                for key, seg in inside
+                if child.contains_point(*midpoint(seg))
+            ]
+            if child_inside:
+                stack.append((child, child_inside))
+    # Deterministic order: by region origin.
+    leaves.sort(key=lambda item: (item[0].x0, item[0].y0, item[0].x1, item[0].y1))
+    return leaves

@@ -1,0 +1,245 @@
+"""SDP relaxation of the per-partition assignment problem (Section 3.3).
+
+Following the paper, the partition's quadratic assignment is lifted to
+``min <T, X>`` over PSD matrices ``X``:
+
+- the diagonal block of variable *i* holds its ``x_ij`` over candidate
+  layers, with the segment timing costs ``ts(i, j)`` on the diagonal of T;
+- the off-diagonal entry pairing ``x_ij`` with ``x_pq`` holds ``y_ijpq``,
+  with half the via cost ``tv(i, j, p, q)`` in T (so the Frobenius inner
+  product charges it once), via-capacity penalties already folded in by the
+  problem extraction;
+- assignment rows (4b) are exact equality constraints;
+- contended edge-capacity rows (4c) get a diagonal slack entry (PSD keeps
+  the diagonal non-negative, so the slack is automatically >= 0) — the
+  paper's slack-variable treatment.  ``constraint_mode="penalty"`` instead
+  prices contended layers into T, an ablation of that choice;
+- all entries are boxed to [0, 1], which together with the PSD 2x2-minor
+  bound ``y^2 <= x_ij * x_pq`` plays the role of the linking rows (4e)-(4g)
+  (see DESIGN.md).
+
+The relaxed diagonal is what the post-mapper consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.problem import PartitionProblem
+from repro.solver.sdp import ADMMSDPSolver, SDPProblem, SDPResult, SDPSettings
+from repro.utils import get_logger
+
+log = get_logger(__name__)
+
+
+@dataclass
+class SdpRelaxationConfig:
+    """Options of the SDP-based partition solver."""
+
+    constraint_mode: str = "slack"  # "slack", "penalty", or "auto"
+    slack_constraint_limit: int = 48  # "auto": switch to penalty above this
+    capacity_penalty_weight: float = 2.0
+    # (4g) linking rows  y >= x_ij + x_pq - 1  keep the relaxation honest
+    # about via costs (without them the PSD cone admits y = 0 under x = 1).
+    # Rows are spent on the costliest layer combinations first.  With the
+    # post-mapping refinement enabled they buy no measurable quality on the
+    # suite while tripling solve time, so the default is 0; the ablation
+    # bench sweeps them (see DESIGN.md / EXPERIMENTS.md).
+    max_linking_rows: int = 0
+    linking_cost_floor: float = 0.02  # skip combos cheaper than this x median ts
+    # Partition matrices are tiny; a first-order solve to ~2e-4 plus the
+    # integer refinement reproduces exact-ILP quality (tested) at a fraction
+    # of the cost of tighter tolerances.
+    settings: SDPSettings = field(
+        default_factory=lambda: SDPSettings(tolerance=2e-4, max_iterations=1200)
+    )
+
+    def __post_init__(self) -> None:
+        if self.constraint_mode not in ("slack", "penalty", "auto"):
+            raise ValueError(f"unknown constraint_mode {self.constraint_mode!r}")
+        if self.max_linking_rows < 0:
+            raise ValueError("max_linking_rows must be >= 0")
+
+
+@dataclass
+class SdpSolveInfo:
+    """Diagnostics of one partition solve."""
+
+    matrix_order: int
+    num_constraints: int
+    iterations: int
+    converged: bool
+    objective: float
+    mode: str
+
+
+class SdpPartitionSolver:
+    """Solves a :class:`PartitionProblem` through the SDP relaxation."""
+
+    def __init__(self, config: Optional[SdpRelaxationConfig] = None) -> None:
+        self.config = config or SdpRelaxationConfig()
+        self._solver = ADMMSDPSolver(self.config.settings)
+
+    def solve(self, problem: PartitionProblem) -> Tuple[List[np.ndarray], SdpSolveInfo]:
+        """Return per-variable fractional layer weights plus diagnostics."""
+        if problem.num_vars == 0:
+            info = SdpSolveInfo(0, 0, 0, True, 0.0, "empty")
+            return [], info
+
+        mode = self.config.constraint_mode
+        if mode == "auto":
+            mode = (
+                "slack"
+                if len(problem.cap_constraints) <= self.config.slack_constraint_limit
+                else "penalty"
+            )
+
+        offsets, n_assign = self._variable_offsets(problem)
+        num_cap_slacks = len(problem.cap_constraints) if mode == "slack" else 0
+        linking = self._select_linking_rows(problem)
+        n = n_assign + num_cap_slacks + len(linking)
+
+        cost = self._build_cost(problem, offsets, n, mode)
+        sdp = SDPProblem(n=n, cost=cost)
+        sdp.set_box(0.0, 1.0)
+
+        # (4b): each segment on exactly one layer.
+        for v, var in enumerate(problem.vars):
+            entries = [(offsets[v] + k, offsets[v] + k) for k in range(len(var.layers))]
+            sdp.add_entry_constraint(entries, [1.0] * len(entries), 1.0)
+
+        # (4c): contended capacities with diagonal slack.
+        if mode == "slack":
+            for c_idx, con in enumerate(problem.cap_constraints):
+                slack = n_assign + c_idx
+                entries = []
+                for v in con.var_indices:
+                    var = problem.vars[v]
+                    if con.layer in var.layers:
+                        k = var.layers.index(con.layer)
+                        entries.append((offsets[v] + k, offsets[v] + k))
+                entries.append((slack, slack))
+                sdp.add_entry_constraint(
+                    entries, [1.0] * len(entries), float(con.capacity)
+                )
+                sdp.set_entry_bounds(slack, slack, 0.0, max(float(con.capacity), 1.0))
+
+        # (4g): x_ij + x_pq - y_ijpq + s = 1, s >= 0 on the diagonal.
+        for row_idx, (p_idx, i, j) in enumerate(linking):
+            pair = problem.pairs[p_idx]
+            ai = offsets[pair.a] + i
+            bj = offsets[pair.b] + j
+            slack = n_assign + num_cap_slacks + row_idx
+            sdp.add_entry_constraint(
+                [(ai, ai), (bj, bj), (ai, bj), (slack, slack)],
+                [1.0, 1.0, -1.0, 1.0],
+                1.0,
+            )
+
+        result: SDPResult = self._solver.solve(sdp)
+        x_values = self._extract(problem, offsets, result.X)
+        info = SdpSolveInfo(
+            matrix_order=n,
+            num_constraints=sdp.num_constraints,
+            iterations=result.iterations,
+            converged=result.converged,
+            objective=result.objective,
+            mode=mode,
+        )
+        return x_values, info
+
+    # -- construction helpers --------------------------------------------------
+
+    def _select_linking_rows(
+        self, problem: PartitionProblem
+    ) -> List[Tuple[int, int, int]]:
+        """Pick the (pair, layer, layer) combos that get a (4g) row.
+
+        Combos whose via cost is negligible next to the segment delays can't
+        distort the relaxation enough to matter, so rows go to the costliest
+        combos first, up to the configured budget.
+        """
+        if self.config.max_linking_rows == 0 or not problem.pairs:
+            return []
+        diag = np.array([c for var in problem.vars for c in var.cost])
+        floor = self.config.linking_cost_floor * float(np.median(np.abs(diag)))
+        combos: List[Tuple[float, int, int, int]] = []
+        for p_idx, pair in enumerate(problem.pairs):
+            rows, cols = pair.cost.shape
+            for i in range(rows):
+                for j in range(cols):
+                    c = float(pair.cost[i, j])
+                    if c > floor:
+                        combos.append((c, p_idx, i, j))
+        combos.sort(key=lambda t: -t[0])
+        return [
+            (p, i, j) for _, p, i, j in combos[: self.config.max_linking_rows]
+        ]
+
+    @staticmethod
+    def _variable_offsets(problem: PartitionProblem) -> Tuple[List[int], int]:
+        offsets = []
+        total = 0
+        for var in problem.vars:
+            offsets.append(total)
+            total += len(var.layers)
+        return offsets, total
+
+    def _build_cost(
+        self,
+        problem: PartitionProblem,
+        offsets: List[int],
+        n: int,
+        mode: str,
+    ) -> np.ndarray:
+        cost = np.zeros((n, n))
+        for v, var in enumerate(problem.vars):
+            for k in range(len(var.layers)):
+                cost[offsets[v] + k, offsets[v] + k] = var.cost[k]
+        for pair in problem.pairs:
+            va, vb = problem.vars[pair.a], problem.vars[pair.b]
+            for i in range(len(va.layers)):
+                for j in range(len(vb.layers)):
+                    r = offsets[pair.a] + i
+                    c = offsets[pair.b] + j
+                    cost[r, c] += pair.cost[i, j] / 2.0
+                    cost[c, r] += pair.cost[i, j] / 2.0
+        if mode == "penalty":
+            self._apply_capacity_penalty(problem, offsets, cost)
+        return cost
+
+    def _apply_capacity_penalty(
+        self, problem: PartitionProblem, offsets: List[int], cost: np.ndarray
+    ) -> None:
+        """Price contended layers instead of constraining them.
+
+        The penalty scales with the partition's own cost magnitude so it
+        stays meaningful across iterations and benchmarks.
+        """
+        diag = np.array([c for var in problem.vars for c in var.cost])
+        scale = float(np.mean(np.abs(diag))) if diag.size else 1.0
+        w = self.config.capacity_penalty_weight
+        for con in problem.cap_constraints:
+            demand = len(con.var_indices)
+            pressure = (demand - con.capacity) / max(demand, 1)
+            for v in con.var_indices:
+                var = problem.vars[v]
+                if con.layer in var.layers:
+                    k = var.layers.index(con.layer)
+                    idx = offsets[v] + k
+                    cost[idx, idx] += w * scale * pressure
+
+    @staticmethod
+    def _extract(
+        problem: PartitionProblem, offsets: List[int], X: np.ndarray
+    ) -> List[np.ndarray]:
+        out = []
+        for v, var in enumerate(problem.vars):
+            vals = np.array(
+                [X[offsets[v] + k, offsets[v] + k] for k in range(len(var.layers))]
+            )
+            out.append(np.clip(vals, 0.0, 1.0))
+        return out

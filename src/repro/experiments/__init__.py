@@ -1,0 +1,38 @@
+"""Programmatic versions of every experiment in the paper's evaluation.
+
+Each function runs one table/figure end to end and returns a structured
+result with the raw reports, the derived series, and a rendered text view.
+The pytest benches in ``benchmarks/`` and the CLI both delegate here, so
+the experiments are equally usable from a notebook or script::
+
+    from repro.experiments import run_table2
+
+    result = run_table2(["adaptec1", "bigblue1"], scale=0.5)
+    print(result.rendered)
+    print(result.ratios["avg_tcp"])
+"""
+
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.figures import (
+    Fig1Result,
+    Fig7Result,
+    Fig8Result,
+    Fig9Result,
+    run_fig1,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+)
+
+__all__ = [
+    "Table2Result",
+    "run_table2",
+    "Fig1Result",
+    "Fig7Result",
+    "Fig8Result",
+    "Fig9Result",
+    "run_fig1",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+]

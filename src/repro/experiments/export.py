@@ -1,0 +1,150 @@
+"""Plot-data export for the reproduced figures.
+
+Writes plain ``.dat`` series plus matching gnuplot scripts, so the actual
+figures of the paper can be regenerated with stock tooling (no matplotlib
+dependency)::
+
+    result = run_fig9("adaptec1")
+    export_fig9(result, "plots/")
+    # then:  gnuplot plots/fig9.gp
+
+Every exporter returns the list of files written.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+import numpy as np
+
+from repro.analysis.histogram import delay_histogram
+from repro.experiments.figures import Fig1Result, Fig7Result, Fig8Result, Fig9Result
+from repro.experiments.table2 import Table2Result
+
+
+def _write(path: str, text: str) -> str:
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path
+
+
+def _series(path: str, header: str, rows) -> str:
+    lines = [f"# {header}"]
+    for row in rows:
+        lines.append(" ".join(str(v) for v in row))
+    return _write(path, "\n".join(lines) + "\n")
+
+
+def export_table2(result: Table2Result, directory: str) -> List[str]:
+    """CSV of the full table (one row per benchmark, both methods)."""
+    lines = [
+        "bench,tila_avg,tila_max,tila_ov,tila_via,tila_cpu,"
+        "sdp_avg,sdp_max,sdp_ov,sdp_via,sdp_cpu"
+    ]
+    for t, s in zip(result.tila_rows, result.sdp_rows):
+        lines.append(
+            f"{t.benchmark},{t.avg_tcp:.4f},{t.max_tcp:.4f},{t.via_overflow},"
+            f"{t.vias},{t.cpu_seconds:.4f},{s.avg_tcp:.4f},{s.max_tcp:.4f},"
+            f"{s.via_overflow},{s.vias},{s.cpu_seconds:.4f}"
+        )
+    return [_write(os.path.join(directory, "table2.csv"), "\n".join(lines) + "\n")]
+
+
+def export_fig1(result: Fig1Result, directory: str, bins: int = 14) -> List[str]:
+    """Histogram series per method plus a log2-y gnuplot script (Fig. 1)."""
+    tila = result.comparison.baseline
+    ours = result.comparison.ours
+    all_delays = tila.final_pin_delays + ours.final_pin_delays
+    lo, hi = min(all_delays), max(all_delays)
+    files = []
+    for rep, tag in ((tila, "tila"), (ours, "ours")):
+        edges, counts = delay_histogram(rep.final_pin_delays, bins=bins, lo=lo, hi=hi)
+        centers = (np.asarray(edges[:-1]) + np.asarray(edges[1:])) / 2
+        files.append(_series(
+            os.path.join(directory, f"fig1_{tag}.dat"),
+            "delay_bin_center pin_count",
+            zip(centers, counts),
+        ))
+    gp = (
+        'set logscale y 2\nset xlabel "Delay Distribution"\n'
+        'set ylabel "Pin #"\nset style data histeps\n'
+        f'plot "fig1_tila.dat" title "TILA", "fig1_ours.dat" title "ours"\n'
+    )
+    files.append(_write(os.path.join(directory, "fig1.gp"), gp))
+    return files
+
+
+def export_fig7(result: Fig7Result, directory: str) -> List[str]:
+    rows = []
+    for idx, (name, per) in enumerate(result.reports.items()):
+        rows.append((
+            idx, name,
+            per["ilp"].final_avg_tcp, per["sdp"].final_avg_tcp,
+            per["ilp"].final_max_tcp, per["sdp"].final_max_tcp,
+            per["ilp"].runtime, per["sdp"].runtime,
+        ))
+    files = [_series(
+        os.path.join(directory, "fig7.dat"),
+        "idx bench ilp_avg sdp_avg ilp_max sdp_max ilp_cpu sdp_cpu",
+        rows,
+    )]
+    gp = (
+        'set style data histogram\nset style fill solid 0.6\n'
+        'set xlabel "benchmark"\n'
+        'plot "fig7.dat" using 3:xtic(2) title "ILP Avg(Tcp)", '
+        '"" using 4 title "SDP Avg(Tcp)"\n'
+    )
+    files.append(_write(os.path.join(directory, "fig7.gp"), gp))
+    return files
+
+
+def export_fig8(result: Fig8Result, directory: str) -> List[str]:
+    files = []
+    for case in result.cases:
+        rows = zip(
+            result.limits,
+            result.series(case, "final_avg_tcp"),
+            result.series(case, "final_max_tcp"),
+            result.series(case, "runtime"),
+        )
+        files.append(_series(
+            os.path.join(directory, f"fig8_{case}.dat"),
+            "segment_limit avg_tcp max_tcp cpu_s",
+            rows,
+        ))
+    plots = ", ".join(
+        f'"fig8_{case}.dat" using 1:4 with linespoints title "{case}"'
+        for case in result.cases
+    )
+    gp = (
+        'set logscale y\nset xlabel "Segment# in each partition"\n'
+        f'set ylabel "Runtime (s)"\nplot {plots}\n'
+    )
+    files.append(_write(os.path.join(directory, "fig8.gp"), gp))
+    return files
+
+
+def export_fig9(result: Fig9Result, directory: str) -> List[str]:
+    rows = zip(
+        [100 * r for r in result.ratios],
+        result.series("baseline", "final_avg_tcp"),
+        result.series("ours", "final_avg_tcp"),
+        result.series("baseline", "final_max_tcp"),
+        result.series("ours", "final_max_tcp"),
+        result.series("baseline", "runtime"),
+        result.series("ours", "runtime"),
+    )
+    files = [_series(
+        os.path.join(directory, "fig9.dat"),
+        "ratio_pct tila_avg sdp_avg tila_max sdp_max tila_cpu sdp_cpu",
+        rows,
+    )]
+    gp = (
+        'set xlabel "Critical Ratio (%)"\nset ylabel "Avg(Tcp)"\n'
+        'plot "fig9.dat" using 1:2 with linespoints title "TILA", '
+        '"fig9.dat" using 1:3 with linespoints title "SDP"\n'
+    )
+    files.append(_write(os.path.join(directory, "fig9.gp"), gp))
+    return files

@@ -1,0 +1,212 @@
+"""Figures 1, 7, 8, 9 of the paper as programmatic experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.histogram import delay_histogram, render_histogram, tail_mass
+from repro.analysis.report import Table
+from repro.analysis.runreport import RunReport
+from repro.core.engine import CPLAConfig
+from repro.ispd.suite import SMALL_CASES
+from repro.pipeline import ComparisonResult, compare, prepare, run_method
+from repro.utils import get_logger
+
+log = get_logger(__name__)
+
+
+# ---------------------------------------------------------------- Fig. 1 --
+
+
+@dataclass
+class Fig1Result:
+    """Pin-delay distributions of the released nets, TILA vs ours."""
+
+    comparison: ComparisonResult
+    tail_threshold: float = 0.0
+    tila_tail: int = 0
+    ours_tail: int = 0
+    rendered: str = ""
+
+
+def run_fig1(
+    benchmark: str = "adaptec1",
+    ratio: float = 0.005,
+    scale: float = 1.0,
+    bins: int = 14,
+    compare_fn=None,
+) -> Fig1Result:
+    if compare_fn is not None:
+        comparison = compare_fn(benchmark, ratio)
+    else:
+        comparison = compare(benchmark, critical_ratio=ratio, scale=scale)
+    tila, ours = comparison.baseline, comparison.ours
+
+    all_delays = tila.final_pin_delays + ours.final_pin_delays
+    lo, hi = min(all_delays), max(all_delays)
+    lines = []
+    for rep in (tila, ours):
+        edges, counts = delay_histogram(rep.final_pin_delays, bins=bins, lo=lo, hi=hi)
+        lines.append(render_histogram(
+            edges, counts,
+            title=f"{rep.method}: sink-pin delays of released nets (log2 bars)",
+        ))
+        lines.append("")
+
+    threshold = float(np.quantile(tila.initial_pin_delays, 0.9))
+    result = Fig1Result(
+        comparison=comparison,
+        tail_threshold=threshold,
+        tila_tail=tail_mass(tila.final_pin_delays, threshold),
+        ours_tail=tail_mass(ours.final_pin_delays, threshold),
+        rendered="\n".join(lines),
+    )
+    return result
+
+
+# ---------------------------------------------------------------- Fig. 7 --
+
+
+@dataclass
+class Fig7Result:
+    """ILP vs SDP on the small cases: quality parity, runtimes as measured."""
+
+    reports: Dict[str, Dict[str, RunReport]] = field(default_factory=dict)
+    rendered: str = ""
+
+    def quality_ratio(self, metric: str = "avg") -> float:
+        """Aggregate SDP/ILP ratio over the cases (avg or max Tcp)."""
+        attr = f"final_{metric}_tcp"
+        sdp = sum(getattr(per["sdp"], attr) for per in self.reports.values())
+        ilp = sum(getattr(per["ilp"], attr) for per in self.reports.values())
+        return sdp / ilp if ilp else float("nan")
+
+
+def run_fig7(
+    benchmarks: Sequence[str] = SMALL_CASES,
+    ratio: float = 0.005,
+    scale: float = 1.0,
+    max_iterations: int = 4,
+) -> Fig7Result:
+    result = Fig7Result()
+    for name in benchmarks:
+        log.info("fig7: running %s", name)
+        per: Dict[str, RunReport] = {}
+        for method in ("ilp", "sdp"):
+            bench = prepare(name, scale=scale)
+            per[method] = run_method(
+                bench, method, critical_ratio=ratio,
+                cpla_config=CPLAConfig(method=method, max_iterations=max_iterations),
+            )
+        result.reports[name] = per
+
+    table = Table(
+        ["bench", "ILP Avg", "SDP Avg", "ILP Max", "SDP Max", "ILP CPU", "SDP CPU"]
+    )
+    for name, per in result.reports.items():
+        table.add_row(
+            name,
+            per["ilp"].final_avg_tcp, per["sdp"].final_avg_tcp,
+            per["ilp"].final_max_tcp, per["sdp"].final_max_tcp,
+            per["ilp"].runtime, per["sdp"].runtime,
+        )
+    result.rendered = table.render()
+    return result
+
+
+# ---------------------------------------------------------------- Fig. 8 --
+
+
+@dataclass
+class Fig8Result:
+    """Partition-size sweep: quality flatness and the runtime valley."""
+
+    reports: Dict[Tuple[str, int], RunReport] = field(default_factory=dict)
+    cases: Tuple[str, ...] = ()
+    limits: Tuple[int, ...] = ()
+    rendered: str = ""
+
+    def series(self, case: str, attr: str) -> List[float]:
+        return [getattr(self.reports[(case, l)], attr) for l in self.limits]
+
+
+def run_fig8(
+    benchmarks: Sequence[str] = ("adaptec1", "adaptec2", "bigblue1"),
+    limits: Sequence[int] = (5, 10, 20, 40, 80),
+    ratio: float = 0.005,
+    scale: float = 1.0,
+    max_iterations: int = 3,
+) -> Fig8Result:
+    result = Fig8Result(cases=tuple(benchmarks), limits=tuple(limits))
+    for name in benchmarks:
+        for limit in limits:
+            log.info("fig8: %s limit=%d", name, limit)
+            bench = prepare(name, scale=scale)
+            result.reports[(name, limit)] = run_method(
+                bench, "sdp", critical_ratio=ratio,
+                cpla_config=CPLAConfig(
+                    method="sdp",
+                    max_iterations=max_iterations,
+                    max_segments_per_partition=limit,
+                ),
+            )
+    table = Table(["bench", "seg limit", "Avg(Tcp)", "Max(Tcp)", "CPU(s)"])
+    for (name, limit), report in result.reports.items():
+        table.add_row(
+            name, limit, report.final_avg_tcp, report.final_max_tcp, report.runtime
+        )
+    result.rendered = table.render()
+    return result
+
+
+# ---------------------------------------------------------------- Fig. 9 --
+
+
+@dataclass
+class Fig9Result:
+    """Critical-ratio sweep, TILA vs SDP."""
+
+    comparisons: Dict[float, ComparisonResult] = field(default_factory=dict)
+    ratios: Tuple[float, ...] = ()
+    rendered: str = ""
+
+    def series(self, side: str, attr: str) -> List[float]:
+        reports = [
+            getattr(self.comparisons[r], side) for r in self.ratios
+        ]
+        return [getattr(rep, attr) for rep in reports]
+
+
+def run_fig9(
+    benchmark: str = "adaptec1",
+    ratios: Sequence[float] = (0.005, 0.010, 0.015, 0.020, 0.025),
+    scale: float = 1.0,
+    compare_fn=None,
+) -> Fig9Result:
+    result = Fig9Result(ratios=tuple(ratios))
+    for ratio in ratios:
+        log.info("fig9: ratio=%.3f", ratio)
+        if compare_fn is not None:
+            result.comparisons[ratio] = compare_fn(benchmark, ratio)
+        else:
+            result.comparisons[ratio] = compare(
+                benchmark, critical_ratio=ratio, scale=scale
+            )
+    table = Table([
+        "ratio %", "TILA Avg", "SDP Avg", "TILA Max", "SDP Max",
+        "TILA CPU", "SDP CPU", "#released",
+    ])
+    for ratio in ratios:
+        r = result.comparisons[ratio]
+        table.add_row(
+            100 * ratio,
+            r.baseline.final_avg_tcp, r.ours.final_avg_tcp,
+            r.baseline.final_max_tcp, r.ours.final_max_tcp,
+            r.baseline.runtime, r.ours.runtime,
+            len(r.ours.critical_net_ids),
+        )
+    result.rendered = table.render()
+    return result

@@ -1,0 +1,103 @@
+"""Table 2: TILA vs SDP across the benchmark suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import MethodMetrics, average_row, ratio_row
+from repro.analysis.report import Table
+from repro.core.engine import CPLAConfig
+from repro.pipeline import ComparisonResult, compare
+from repro.tila.engine import TILAConfig
+from repro.utils import get_logger
+
+log = get_logger(__name__)
+
+
+@dataclass
+class Table2Result:
+    """One full Table-2 run."""
+
+    comparisons: Dict[str, ComparisonResult] = field(default_factory=dict)
+    tila_rows: List[MethodMetrics] = field(default_factory=list)
+    sdp_rows: List[MethodMetrics] = field(default_factory=list)
+    tila_average: Optional[MethodMetrics] = None
+    sdp_average: Optional[MethodMetrics] = None
+    ratios: Dict[str, float] = field(default_factory=dict)
+    rendered: str = ""
+
+    @property
+    def sdp_wins_avg(self) -> int:
+        """Benchmarks where SDP's Avg(Tcp) beats TILA's."""
+        return sum(
+            1
+            for t, s in zip(self.tila_rows, self.sdp_rows)
+            if s.avg_tcp < t.avg_tcp
+        )
+
+
+def run_table2(
+    benchmarks: Sequence[str],
+    ratio: float = 0.005,
+    scale: float = 1.0,
+    cpla_config: Optional[CPLAConfig] = None,
+    tila_config: Optional[TILAConfig] = None,
+    compare_fn=None,
+) -> Table2Result:
+    """Run the paired comparison on every benchmark and assemble the table.
+
+    ``compare_fn(name, ratio)`` may be supplied to share/cache comparison
+    runs with other experiments (the pytest benches do this); it defaults
+    to :func:`repro.pipeline.compare`.
+    """
+    result = Table2Result()
+    for name in benchmarks:
+        log.info("table2: running %s", name)
+        if compare_fn is not None:
+            comparison = compare_fn(name, ratio)
+        else:
+            comparison = compare(
+                name,
+                critical_ratio=ratio,
+                scale=scale,
+                cpla_config=cpla_config,
+                tila_config=tila_config,
+            )
+        result.comparisons[name] = comparison
+        result.tila_rows.append(MethodMetrics.from_report(comparison.baseline))
+        result.sdp_rows.append(MethodMetrics.from_report(comparison.ours))
+
+    result.tila_average = average_row(result.tila_rows, "tila")
+    result.sdp_average = average_row(result.sdp_rows, "sdp")
+    result.ratios = ratio_row(result.sdp_average, result.tila_average)
+    result.rendered = _render(result)
+    return result
+
+
+def _render(result: Table2Result) -> str:
+    table = Table([
+        "bench",
+        "TILA Avg", "TILA Max", "TILA OV#", "TILA via#", "TILA CPU",
+        "SDP Avg", "SDP Max", "SDP OV#", "SDP via#", "SDP CPU",
+    ])
+    for t, s in zip(result.tila_rows, result.sdp_rows):
+        table.add_row(
+            t.benchmark,
+            t.avg_tcp, t.max_tcp, t.via_overflow, t.vias, t.cpu_seconds,
+            s.avg_tcp, s.max_tcp, s.via_overflow, s.vias, s.cpu_seconds,
+        )
+    t_avg, s_avg = result.tila_average, result.sdp_average
+    assert t_avg is not None and s_avg is not None
+    table.add_row(
+        "average",
+        t_avg.avg_tcp, t_avg.max_tcp, t_avg.via_overflow, t_avg.vias, t_avg.cpu_seconds,
+        s_avg.avg_tcp, s_avg.max_tcp, s_avg.via_overflow, s_avg.vias, s_avg.cpu_seconds,
+    )
+    table.add_row(
+        "ratio", 1.0, 1.0, 1.0, 1.0, 1.0,
+        result.ratios["avg_tcp"], result.ratios["max_tcp"],
+        result.ratios["via_overflow"], result.ratios["vias"],
+        result.ratios["cpu_seconds"],
+    )
+    return table.render()

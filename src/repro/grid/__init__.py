@@ -1,0 +1,15 @@
+"""3-D global-routing grid model.
+
+This subpackage implements the layer/grid model of Section 2.1 of the paper:
+
+- :mod:`repro.grid.layers` — metal layers with unidirectional preferred
+  routing, per-layer RC values, and via resistances between adjacent layers.
+- :mod:`repro.grid.graph` — the 3-D grid graph: tiles (G-cells), wire edges
+  with per-layer capacities, via-capacity accounting per Eqn. (1), and
+  usage/overflow bookkeeping used by every router and optimizer in the repo.
+"""
+
+from repro.grid.layers import Direction, Layer, LayerStack
+from repro.grid.graph import Edge2D, GridGraph
+
+__all__ = ["Direction", "Layer", "LayerStack", "Edge2D", "GridGraph"]

@@ -1,0 +1,234 @@
+"""Metal-layer model.
+
+Each metal layer routes wires in a single preferred direction (Fig. 2(a) of
+the paper); layers alternate horizontal/vertical going up the stack.  Higher
+layers are wider and hence less resistive, lower layers are thinner and more
+resistive — the asymmetry that makes layer assignment a timing lever.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+
+class Direction(enum.Enum):
+    """Preferred routing direction of a metal layer."""
+
+    HORIZONTAL = "H"
+    VERTICAL = "V"
+
+    @property
+    def other(self) -> "Direction":
+        if self is Direction.HORIZONTAL:
+            return Direction.VERTICAL
+        return Direction.HORIZONTAL
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Layer:
+    """A single metal layer.
+
+    Parameters
+    ----------
+    index:
+        1-based layer number; layer 1 is the lowest metal.
+    direction:
+        Preferred (and only) routing direction on this layer.
+    unit_resistance:
+        Wire resistance per G-cell pitch, in ohms.
+    unit_capacitance:
+        Wire capacitance per G-cell pitch, in femtofarads.
+    min_width / min_spacing:
+        Wire width and spacing, in the benchmark's database units; together
+        they set the routing-track pitch used to convert raw ISPD capacities
+        (given in length units) into integer track counts.
+    default_capacity:
+        Raw routing capacity of one G-cell edge on this layer, in the same
+        length units as ``min_width``/``min_spacing``.
+    """
+
+    index: int
+    direction: Direction
+    unit_resistance: float
+    unit_capacitance: float
+    min_width: float = 1.0
+    min_spacing: float = 1.0
+    default_capacity: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ValueError(f"layer index must be >= 1, got {self.index}")
+        if self.unit_resistance <= 0:
+            raise ValueError("unit_resistance must be positive")
+        if self.unit_capacitance < 0:
+            raise ValueError("unit_capacitance must be non-negative")
+        if self.min_width <= 0 or self.min_spacing < 0:
+            raise ValueError("invalid width/spacing")
+
+    @property
+    def pitch(self) -> float:
+        """Routing-track pitch: wire width plus spacing."""
+        return self.min_width + self.min_spacing
+
+    @property
+    def default_tracks(self) -> int:
+        """Default number of routing tracks across one G-cell edge."""
+        return int(self.default_capacity // self.pitch)
+
+
+@dataclass(frozen=True)
+class LayerStack:
+    """An ordered stack of metal layers plus via parameters.
+
+    ``via_resistances[k]`` is the resistance of a via cut between layer
+    ``k+1`` and layer ``k+2`` (0-based list over the L-1 adjacent pairs).
+    ``via_capacitances`` follows the same indexing and may be all-zero; the
+    paper's delay model only uses via resistance (Eqn. (3)).
+    """
+
+    layers: Tuple[Layer, ...]
+    via_resistances: Tuple[float, ...]
+    via_capacitances: Tuple[float, ...] = ()
+    via_width: float = 1.0
+    via_spacing: float = 1.0
+    tile_width: float = 10.0
+    tile_height: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("a layer stack needs at least one layer")
+        for pos, layer in enumerate(self.layers, start=1):
+            if layer.index != pos:
+                raise ValueError(
+                    f"layers must be sorted with contiguous indices; "
+                    f"position {pos} holds layer {layer.index}"
+                )
+        if len(self.via_resistances) != len(self.layers) - 1:
+            raise ValueError(
+                f"need {len(self.layers) - 1} via resistances, "
+                f"got {len(self.via_resistances)}"
+            )
+        if any(r < 0 for r in self.via_resistances):
+            raise ValueError("via resistances must be non-negative")
+        if self.via_capacitances and len(self.via_capacitances) != len(self.layers) - 1:
+            raise ValueError("via_capacitances length must be L-1 (or empty)")
+        if self.via_width <= 0 or self.via_spacing < 0:
+            raise ValueError("invalid via width/spacing")
+
+    # -- basic accessors -------------------------------------------------
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def layer(self, index: int) -> Layer:
+        """Return the layer with the given 1-based index."""
+        if not 1 <= index <= len(self.layers):
+            raise IndexError(f"layer {index} out of range 1..{len(self.layers)}")
+        return self.layers[index - 1]
+
+    def direction_of(self, index: int) -> Direction:
+        return self.layer(index).direction
+
+    def layers_of(self, direction: Direction) -> Tuple[int, ...]:
+        """Indices of all layers routing in ``direction``, bottom to top."""
+        return tuple(
+            layer.index for layer in self.layers if layer.direction is direction
+        )
+
+    def top_layer_of(self, direction: Direction) -> int:
+        candidates = self.layers_of(direction)
+        if not candidates:
+            raise ValueError(f"no layer routes in direction {direction}")
+        return candidates[-1]
+
+    # -- via helpers -----------------------------------------------------
+
+    def via_resistance_between(self, lower: int, upper: int) -> float:
+        """Total via resistance of a stacked via from ``lower`` to ``upper``.
+
+        Mirrors the summation in Eqn. (3): the cuts between layers
+        ``lower .. upper-1`` are traversed.  ``lower == upper`` costs zero.
+        """
+        if lower > upper:
+            lower, upper = upper, lower
+        self.layer(lower)
+        self.layer(upper)
+        return float(sum(self.via_resistances[lower - 1 : upper - 1]))
+
+    def via_capacitance_between(self, lower: int, upper: int) -> float:
+        """Total via capacitance of a stacked via (0 when not modelled)."""
+        if not self.via_capacitances:
+            return 0.0
+        if lower > upper:
+            lower, upper = upper, lower
+        return float(sum(self.via_capacitances[lower - 1 : upper - 1]))
+
+    @property
+    def via_pitch_sq(self) -> float:
+        """``(via width + via spacing)**2`` — denominator of Eqn. (1)."""
+        return (self.via_width + self.via_spacing) ** 2
+
+
+def alternating_directions(
+    num_layers: int, first: Direction = Direction.HORIZONTAL
+) -> Tuple[Direction, ...]:
+    """The usual HVHV... direction pattern for ``num_layers`` layers."""
+    out = []
+    current = first
+    for _ in range(num_layers):
+        out.append(current)
+        current = current.other
+    return tuple(out)
+
+
+def uniform_stack(
+    num_layers: int,
+    *,
+    unit_resistance: Sequence[float],
+    unit_capacitance: Sequence[float],
+    via_resistance: Sequence[float],
+    capacity: Sequence[float],
+    min_width: Sequence[float] = (),
+    min_spacing: Sequence[float] = (),
+    first_direction: Direction = Direction.HORIZONTAL,
+    via_width: float = 1.0,
+    via_spacing: float = 1.0,
+    tile_width: float = 10.0,
+    tile_height: float = 10.0,
+) -> LayerStack:
+    """Convenience constructor assembling a :class:`LayerStack` from arrays."""
+    directions = alternating_directions(num_layers, first_direction)
+    widths = list(min_width) or [1.0] * num_layers
+    spacings = list(min_spacing) or [1.0] * num_layers
+    layers = tuple(
+        Layer(
+            index=i + 1,
+            direction=directions[i],
+            unit_resistance=float(unit_resistance[i]),
+            unit_capacitance=float(unit_capacitance[i]),
+            min_width=float(widths[i]),
+            min_spacing=float(spacings[i]),
+            default_capacity=float(capacity[i]),
+        )
+        for i in range(num_layers)
+    )
+    return LayerStack(
+        layers=layers,
+        via_resistances=tuple(float(r) for r in via_resistance),
+        via_width=via_width,
+        via_spacing=via_spacing,
+        tile_width=tile_width,
+        tile_height=tile_height,
+    )

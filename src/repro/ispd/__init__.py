@@ -1,0 +1,37 @@
+"""ISPD'08 global-routing benchmark substrate.
+
+The paper evaluates on the ISPD'08 suite (adaptec/bigblue/newblue).  Those
+files are not redistributable here, so this subpackage provides both halves
+of the substitution documented in DESIGN.md:
+
+- :mod:`repro.ispd.parser` / :mod:`repro.ispd.writer` — genuine ISPD'08
+  format I/O, so the real files work unchanged if available;
+- :mod:`repro.ispd.synthetic` — a seeded generator producing scaled
+  instances with the same names, relative sizes, and an explicit population
+  of long multi-fanout (timing-critical) nets;
+- :mod:`repro.ispd.suite` — the registry of the 15 benchmarks of Table 2.
+"""
+
+from repro.ispd.benchmark import Benchmark
+from repro.ispd.parser import parse_ispd08, ParseError
+from repro.ispd.writer import write_ispd08
+from repro.ispd.synthetic import SyntheticSpec, generate
+from repro.ispd.suite import SUITE, load_benchmark, spec_for
+from repro.ispd.routes import parse_routes, write_routes
+from repro.ispd.evaluator import EvaluationResult, evaluate_solution
+
+__all__ = [
+    "parse_routes",
+    "write_routes",
+    "EvaluationResult",
+    "evaluate_solution",
+    "Benchmark",
+    "parse_ispd08",
+    "ParseError",
+    "write_ispd08",
+    "SyntheticSpec",
+    "generate",
+    "SUITE",
+    "load_benchmark",
+    "spec_for",
+]

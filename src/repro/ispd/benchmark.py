@@ -1,0 +1,46 @@
+"""The in-memory benchmark container shared by parser and generator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.grid.graph import Edge2D, GridGraph
+from repro.grid.layers import LayerStack
+from repro.route.net import Net
+
+
+@dataclass
+class Benchmark:
+    """A routing instance: grid, layer stack, nets, capacity adjustments.
+
+    ``adjustments`` maps ``(edge, layer)`` to the adjusted track count (the
+    ISPD'08 "capacity adjustment" records); they are already applied to
+    ``grid`` — the mapping is kept so the writer can round-trip the file.
+    """
+
+    name: str
+    grid: GridGraph
+    nets: List[Net] = field(default_factory=list)
+    adjustments: Dict[Tuple[Edge2D, int], int] = field(default_factory=dict)
+    lower_left: Tuple[float, float] = (0.0, 0.0)
+
+    @property
+    def stack(self) -> LayerStack:
+        return self.grid.stack
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.nets)
+
+    def net_by_name(self, name: str) -> Net:
+        for net in self.nets:
+            if net.name == name:
+                return net
+        raise KeyError(f"no net named {name!r} in benchmark {self.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Benchmark({self.name}: {self.grid.nx_tiles}x{self.grid.ny_tiles}"
+            f"x{self.stack.num_layers}, {self.num_nets} nets)"
+        )

@@ -1,0 +1,219 @@
+"""ISPD'08 global-routing benchmark parser.
+
+Grammar (see Nam, Sze & Yildiz, ISPD'08, ref. [17] of the paper)::
+
+    grid <nx> <ny> <layers>
+    vertical capacity   <c1> ... <cL>
+    horizontal capacity <c1> ... <cL>
+    minimum width       <w1> ... <wL>
+    minimum spacing     <s1> ... <sL>
+    via spacing         <v1> ... <vL>
+    <lower_left_x> <lower_left_y> <tile_width> <tile_height>
+    num net <n>
+    <net_name> <net_id> <num_pins> [<min_width>]
+    <pin_x> <pin_y> <pin_layer>          (num_pins lines, real coordinates)
+    ...
+    <num_adjustments>
+    <x1> <y1> <l1> <x2> <y2> <l2> <reduced_capacity>
+
+Capacities are in length units; track counts are capacity divided by
+(width + spacing) per layer.  RC values are not part of the format — the
+caller supplies an :class:`~repro.timing.rc.RCProfile` (defaults to
+:func:`~repro.timing.rc.industrial_rc`), matching the paper's use of
+out-of-band "industrial settings".
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional, TextIO, Tuple, Union
+
+from repro.grid.graph import GridGraph, edge_between
+from repro.grid.layers import Direction, Layer, LayerStack, alternating_directions
+from repro.ispd.benchmark import Benchmark
+from repro.route.net import Net, Pin
+from repro.timing.rc import RCProfile, industrial_rc
+
+
+class ParseError(ValueError):
+    """Raised on malformed ISPD'08 input, with a line number."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+class _Lines:
+    """Token-line iterator that skips blanks/comments and tracks line numbers."""
+
+    def __init__(self, handle: TextIO) -> None:
+        self._iter = enumerate(handle, start=1)
+        self.line_no = 0
+
+    def next_tokens(self) -> List[str]:
+        for no, raw in self._iter:
+            stripped = raw.split("#", 1)[0].strip()
+            if stripped:
+                self.line_no = no
+                return stripped.split()
+        raise ParseError(self.line_no, "unexpected end of file")
+
+    def maybe_next_tokens(self) -> Optional[List[str]]:
+        try:
+            return self.next_tokens()
+        except ParseError:
+            return None
+
+
+def _floats(tokens: List[str], lines: _Lines, expect: int, what: str) -> List[float]:
+    if len(tokens) != expect:
+        raise ParseError(lines.line_no, f"{what}: expected {expect} values, got {len(tokens)}")
+    try:
+        return [float(t) for t in tokens]
+    except ValueError as exc:
+        raise ParseError(lines.line_no, f"{what}: {exc}") from exc
+
+
+def parse_ispd08(
+    source: Union[str, TextIO],
+    name: str = "benchmark",
+    rc: Optional[RCProfile] = None,
+    pin_capacitance: float = 1.0,
+) -> Benchmark:
+    """Parse an ISPD'08 benchmark from a path, file object, or text.
+
+    ``source`` may be a filesystem path, an open text handle, or a string
+    containing the benchmark text itself (detected by the leading ``grid``
+    keyword).
+    """
+    if isinstance(source, str):
+        if source.lstrip().startswith("grid"):
+            return _parse(io.StringIO(source), name, rc, pin_capacitance)
+        with open(source, "r", encoding="utf-8") as handle:
+            return _parse(handle, name, rc, pin_capacitance)
+    return _parse(source, name, rc, pin_capacitance)
+
+
+def _parse(
+    handle: TextIO, name: str, rc: Optional[RCProfile], pin_capacitance: float
+) -> Benchmark:
+    lines = _Lines(handle)
+
+    tokens = lines.next_tokens()
+    if tokens[0].lower() != "grid" or len(tokens) != 4:
+        raise ParseError(lines.line_no, f"expected 'grid nx ny layers', got {tokens}")
+    nx, ny, num_layers = (int(t) for t in tokens[1:])
+    if num_layers < 1:
+        raise ParseError(lines.line_no, "layer count must be >= 1")
+
+    def capacity_line(expected_kw: Tuple[str, ...]) -> List[float]:
+        toks = lines.next_tokens()
+        kw_len = len(expected_kw)
+        if tuple(t.lower() for t in toks[:kw_len]) != expected_kw:
+            raise ParseError(lines.line_no, f"expected {' '.join(expected_kw)}")
+        return _floats(toks[kw_len:], lines, num_layers, " ".join(expected_kw))
+
+    vcap = capacity_line(("vertical", "capacity"))
+    hcap = capacity_line(("horizontal", "capacity"))
+    widths = capacity_line(("minimum", "width"))
+    spacings = capacity_line(("minimum", "spacing"))
+    via_spacings = capacity_line(("via", "spacing"))
+
+    toks = lines.next_tokens()
+    llx, lly, tile_w, tile_h = _floats(toks, lines, 4, "origin/tile line")
+    if tile_w <= 0 or tile_h <= 0:
+        raise ParseError(lines.line_no, "tile dimensions must be positive")
+
+    # Directions follow the nonzero capacities; fall back to HVHV...
+    directions = list(alternating_directions(num_layers))
+    for i in range(num_layers):
+        if hcap[i] > 0 and vcap[i] == 0:
+            directions[i] = Direction.HORIZONTAL
+        elif vcap[i] > 0 and hcap[i] == 0:
+            directions[i] = Direction.VERTICAL
+
+    profile = rc or industrial_rc(num_layers)
+    if profile.num_layers != num_layers:
+        raise ParseError(
+            lines.line_no,
+            f"RC profile has {profile.num_layers} layers, benchmark has {num_layers}",
+        )
+    layers = []
+    for i in range(num_layers):
+        cap = hcap[i] if directions[i] is Direction.HORIZONTAL else vcap[i]
+        layers.append(
+            Layer(
+                index=i + 1,
+                direction=directions[i],
+                unit_resistance=profile.unit_resistance[i],
+                unit_capacitance=profile.unit_capacitance[i],
+                min_width=widths[i],
+                min_spacing=spacings[i],
+                default_capacity=cap,
+            )
+        )
+    stack = LayerStack(
+        layers=tuple(layers),
+        via_resistances=profile.via_resistance,
+        via_capacitances=profile.via_capacitance,
+        via_width=max(min(widths), 1e-9),
+        via_spacing=max(via_spacings),
+        tile_width=tile_w,
+        tile_height=tile_h,
+    )
+    grid = GridGraph(nx, ny, stack)
+
+    toks = lines.next_tokens()
+    if [t.lower() for t in toks[:2]] != ["num", "net"]:
+        raise ParseError(lines.line_no, f"expected 'num net <n>', got {toks}")
+    num_nets = int(toks[2])
+
+    def to_tile(x: float, y: float) -> Tuple[int, int]:
+        tx = int((x - llx) // tile_w)
+        ty = int((y - lly) // tile_h)
+        tx = min(max(tx, 0), nx - 1)
+        ty = min(max(ty, 0), ny - 1)
+        return tx, ty
+
+    nets: List[Net] = []
+    for _ in range(num_nets):
+        header = lines.next_tokens()
+        if len(header) not in (3, 4):
+            raise ParseError(lines.line_no, f"bad net header {header}")
+        net_name = header[0]
+        net_id = int(header[1])
+        num_pins = int(header[2])
+        if num_pins < 1:
+            raise ParseError(lines.line_no, f"net {net_name} has {num_pins} pins")
+        pins = []
+        for _ in range(num_pins):
+            ptoks = lines.next_tokens()
+            px, py, pl = _floats(ptoks, lines, 3, f"pin of net {net_name}")
+            layer_idx = int(pl)
+            if not 1 <= layer_idx <= num_layers:
+                raise ParseError(lines.line_no, f"pin layer {layer_idx} out of range")
+            tx, ty = to_tile(px, py)
+            pins.append(Pin(tx, ty, layer_idx, capacitance=pin_capacitance))
+        nets.append(Net(id=net_id, name=net_name, pins=pins))
+
+    bench = Benchmark(name=name, grid=grid, nets=nets, lower_left=(llx, lly))
+
+    # Optional capacity adjustments.
+    toks = lines.maybe_next_tokens()
+    if toks is not None:
+        num_adj = int(toks[0])
+        for _ in range(num_adj):
+            atoks = lines.next_tokens()
+            vals = _floats(atoks, lines, 7, "capacity adjustment")
+            x1, y1, l1, x2, y2, l2, reduced = (
+                int(vals[0]), int(vals[1]), int(vals[2]),
+                int(vals[3]), int(vals[4]), int(vals[5]), vals[6],
+            )
+            if l1 != l2:
+                raise ParseError(lines.line_no, "adjustment must stay on one layer")
+            edge = edge_between((x1, y1), (x2, y2))
+            layer = stack.layer(l1)
+            tracks = int(reduced // layer.pitch)
+            grid.set_capacity(edge, l1, tracks)
+            bench.adjustments[(edge, l1)] = tracks
+    return bench

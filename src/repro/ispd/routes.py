@@ -1,0 +1,187 @@
+"""ISPD'08 routing *solution* format I/O.
+
+The contest defines an output format consumed by the official evaluator:
+one block per net listing its 3-D wires, each a segment between two grid
+points annotated with layers::
+
+    net_name net_id
+    (x1, y1, l1)-(x2, y2, l2)
+    ...
+    !
+
+Straight wires on one layer are routed metal; zero-length entries whose
+layers differ are via stacks.  Coordinates are real units (tile centres).
+
+This module writes the current layer assignment in that format and parses
+it back onto a :class:`~repro.ispd.benchmark.Benchmark`, so solutions can
+be stored, diffed, and exchanged with external tools.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import Dict, List, Optional, TextIO, Tuple, Union
+
+from repro.ispd.benchmark import Benchmark
+from repro.route.net import Net
+from repro.route.tree import build_topology
+from repro.utils import get_logger
+
+log = get_logger(__name__)
+
+_POINT = re.compile(
+    r"\(\s*(-?[\d.]+)\s*,\s*(-?[\d.]+)\s*,\s*(\d+)\s*\)"
+)
+
+
+def _tile_center(bench: Benchmark, x: int, y: int) -> Tuple[float, float]:
+    llx, lly = bench.lower_left
+    return (
+        llx + (x + 0.5) * bench.stack.tile_width,
+        lly + (y + 0.5) * bench.stack.tile_height,
+    )
+
+
+def write_routes(bench: Benchmark, target: Union[str, TextIO, None] = None) -> str:
+    """Serialize every routed net's 3-D solution.
+
+    Requires topologies with assigned layers.  Wires are emitted per
+    segment; via stacks as zero-length layer spans at their tiles.
+    """
+    buf = io.StringIO()
+    for net in bench.nets:
+        topo = net.topology
+        if topo is None:
+            raise ValueError(f"net {net.name} has no topology; route it first")
+        buf.write(f"{net.name} {net.id}\n")
+        for seg in topo.segments:
+            if seg.layer <= 0:
+                raise ValueError(
+                    f"net {net.name} segment {seg.id} unassigned; "
+                    "assign layers before writing routes"
+                )
+            (x1, y1), (x2, y2) = seg.endpoints
+            px1, py1 = _tile_center(bench, x1, y1)
+            px2, py2 = _tile_center(bench, x2, y2)
+            buf.write(
+                f"({_fmt(px1)}, {_fmt(py1)}, {seg.layer})-"
+                f"({_fmt(px2)}, {_fmt(py2)}, {seg.layer})\n"
+            )
+        for via in topo.via_stacks():
+            px, py = _tile_center(bench, *via.tile)
+            buf.write(
+                f"({_fmt(px)}, {_fmt(py)}, {via.lower})-"
+                f"({_fmt(px)}, {_fmt(py)}, {via.upper})\n"
+            )
+        buf.write("!\n")
+    text = buf.getvalue()
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    elif target is not None:
+        target.write(text)
+    return text
+
+
+def _fmt(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def parse_routes(
+    bench: Benchmark, source: Union[str, TextIO], apply: bool = True
+) -> Dict[int, List[Tuple[Tuple[int, int, int], Tuple[int, int, int]]]]:
+    """Parse a solution file against ``bench``.
+
+    Returns per net id the list of 3-D wire entries in tile coordinates.
+    With ``apply=True`` (default) the routes are installed on the nets:
+    topologies are rebuilt from the wires and segment layers set from the
+    solution (the grid's usage counters are *not* touched — commit via
+    :func:`repro.route.occupancy.commit_net` as needed).
+    """
+    if isinstance(source, str):
+        if "\n" not in source and not source.lstrip().startswith("("):
+            with open(source, "r", encoding="utf-8") as handle:
+                return parse_routes(bench, handle, apply)
+        source = io.StringIO(source)
+
+    llx, lly = bench.lower_left
+    tw, th = bench.stack.tile_width, bench.stack.tile_height
+
+    def to_tile(px: float, py: float) -> Tuple[int, int]:
+        return int((px - llx) // tw), int((py - lly) // th)
+
+    nets_by_id = {net.id: net for net in bench.nets}
+    wires: Dict[int, List] = {}
+    current: Optional[Net] = None
+    for line_no, raw in enumerate(source, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line == "!":
+            current = None
+            continue
+        points = _POINT.findall(line)
+        if len(points) == 2:
+            if current is None:
+                raise ValueError(f"line {line_no}: wire outside a net block")
+            (px1, py1, l1), (px2, py2, l2) = points
+            x1, y1 = to_tile(float(px1), float(py1))
+            x2, y2 = to_tile(float(px2), float(py2))
+            wires.setdefault(current.id, []).append(
+                ((x1, y1, int(l1)), (x2, y2, int(l2)))
+            )
+            continue
+        tokens = line.split()
+        if len(tokens) >= 2 and tokens[-1].lstrip("-").isdigit():
+            net_id = int(tokens[-1])
+            if net_id not in nets_by_id:
+                raise ValueError(f"line {line_no}: unknown net id {net_id}")
+            current = nets_by_id[net_id]
+            wires.setdefault(net_id, [])
+            continue
+        raise ValueError(f"line {line_no}: unparsable line {line!r}")
+
+    if apply:
+        _apply_routes(bench, wires)
+    return wires
+
+
+def _apply_routes(bench: Benchmark, wires: Dict[int, List]) -> None:
+    from repro.grid.graph import edge_between
+
+    for net in bench.nets:
+        entries = wires.get(net.id)
+        if entries is None:
+            continue
+        edges = []
+        layer_of_edge = {}
+        for (x1, y1, l1), (x2, y2, l2) in entries:
+            if (x1, y1) == (x2, y2):
+                continue  # via stack; re-derived from the topology
+            if l1 != l2:
+                raise ValueError(
+                    f"net {net.name}: wire changes layer mid-flight "
+                    f"({l1} -> {l2})"
+                )
+            step_x = 0 if x1 == x2 else (1 if x2 > x1 else -1)
+            step_y = 0 if y1 == y2 else (1 if y2 > y1 else -1)
+            cx, cy = x1, y1
+            while (cx, cy) != (x2, y2):
+                nx_, ny_ = cx + step_x, cy + step_y
+                edge = edge_between((cx, cy), (nx_, ny_))
+                edges.append(edge)
+                layer_of_edge[edge] = l1
+                cx, cy = nx_, ny_
+        net.route_edges = edges
+        topo = build_topology(net)
+        for seg in topo.segments:
+            seg_layers = {layer_of_edge[e] for e in seg.edges()}
+            if len(seg_layers) != 1:
+                raise ValueError(
+                    f"net {net.name} segment {seg.id}: inconsistent layers "
+                    f"{sorted(seg_layers)} in solution"
+                )
+            seg.layer = seg_layers.pop()

@@ -1,0 +1,79 @@
+"""Registry of the 15 ISPD'08 benchmarks used in Table 2 of the paper.
+
+Real instance sizes are scaled to Python-tractable magnitudes while keeping
+the *relative* ordering of the suite (bigblue4/newblue7 remain the largest,
+adaptec1/bigblue1 the smallest); every instance is deterministic given its
+name.  ``scale`` multiplies net counts for quicker smoke runs.
+
+The paper's Table 2 covers adaptec1–5, bigblue1–4 and newblue1, 2, 4, 5, 6,
+7 (newblue3 is traditionally excluded as unroutable).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.ispd.benchmark import Benchmark
+from repro.ispd.synthetic import SyntheticSpec, generate
+from repro.timing.rc import RCProfile
+
+# name -> (real nx, real ny, layers, real net count)
+SUITE: Dict[str, Tuple[int, int, int, int]] = {
+    "adaptec1": (324, 324, 6, 219794),
+    "adaptec2": (424, 424, 6, 260159),
+    "adaptec3": (774, 779, 6, 466295),
+    "adaptec4": (774, 779, 6, 515304),
+    "adaptec5": (465, 468, 6, 867441),
+    "bigblue1": (227, 227, 6, 282974),
+    "bigblue2": (468, 471, 6, 576816),
+    "bigblue3": (555, 557, 8, 1122340),
+    "bigblue4": (403, 405, 8, 2228930),
+    "newblue1": (399, 399, 6, 331663),
+    "newblue2": (557, 463, 6, 463213),
+    "newblue4": (455, 458, 6, 636195),
+    "newblue5": (637, 640, 6, 1257555),
+    "newblue6": (463, 464, 6, 1286452),
+    "newblue7": (488, 490, 8, 2635625),
+}
+
+# The six "small test cases" of Fig. 7 (ILP is tractable there).
+SMALL_CASES = ("adaptec1", "adaptec2", "bigblue1", "newblue1", "newblue2", "newblue4")
+
+_GRID_DIVISOR = 16
+_NET_DIVISOR = 150
+_MIN_GRID, _MAX_GRID = 14, 44
+_MIN_NETS, _MAX_NETS = 200, 4500
+
+
+def spec_for(name: str, scale: float = 1.0, rc: Optional[RCProfile] = None) -> SyntheticSpec:
+    """The deterministic :class:`SyntheticSpec` for a suite benchmark name."""
+    if name not in SUITE:
+        raise KeyError(f"unknown benchmark {name!r}; choose from {sorted(SUITE)}")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    real_nx, real_ny, layers, real_nets = SUITE[name]
+
+    def clip(v: float, lo: int, hi: int) -> int:
+        return int(max(lo, min(hi, round(v))))
+
+    nx = clip(real_nx / _GRID_DIVISOR, _MIN_GRID, _MAX_GRID)
+    ny = clip(real_ny / _GRID_DIVISOR, _MIN_GRID, _MAX_GRID)
+    nets = clip(
+        real_nets / _NET_DIVISOR * scale,
+        max(int(_MIN_NETS * min(scale, 1.0)), 30),
+        max(int(_MAX_NETS * scale), 60),
+    )
+    return SyntheticSpec(
+        name=name,
+        nx=nx,
+        ny=ny,
+        num_layers=layers,
+        num_nets=nets,
+        seed=2016,
+        rc=rc,
+    )
+
+
+def load_benchmark(name: str, scale: float = 1.0, rc: Optional[RCProfile] = None) -> Benchmark:
+    """Generate the named synthetic benchmark (deterministic per name)."""
+    return generate(spec_for(name, scale=scale, rc=rc))

@@ -1,0 +1,214 @@
+"""Seeded synthetic ISPD'08-style benchmark generator.
+
+The real ISPD'08 instances cannot ship with this repo, and their full sizes
+(0.2M–2.6M nets) are beyond a pure-Python flow anyway.  The generator below
+produces scaled instances preserving the properties the paper's experiments
+depend on:
+
+- mostly short, locally clustered nets (the congestion background);
+- an explicit population of long, multi-fanout nets — the ones whose worst
+  path delay makes them "critical" and released for re-assignment;
+- per-direction capacities sized from the generated demand so the grid runs
+  at a realistic utilization with genuine hot spots;
+- a sprinkling of capacity adjustments (reduced edges), exercising the same
+  code path real benchmark blockages do.
+
+Everything derives from a single seed, so each named benchmark is a fixed,
+reproducible instance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.grid.graph import GridGraph
+from repro.grid.layers import Direction, Layer, LayerStack, alternating_directions
+from repro.ispd.benchmark import Benchmark
+from repro.route.net import Net, Pin
+from repro.timing.rc import RCProfile, industrial_rc
+from repro.utils import make_rng
+
+
+@dataclass
+class SyntheticSpec:
+    """Parameters of one synthetic instance."""
+
+    name: str
+    nx: int
+    ny: int
+    num_layers: int
+    num_nets: int
+    seed: int = 2016
+    target_utilization: float = 0.55
+    track_tier_shrink: float = 0.55
+    critical_fraction: float = 0.02
+    pin_cap_range: Tuple[float, float] = (0.6, 1.8)
+    adjustment_fraction: float = 0.02
+    rc: Optional[RCProfile] = None
+
+    def __post_init__(self) -> None:
+        if self.nx < 4 or self.ny < 4:
+            raise ValueError("grid must be at least 4x4 tiles")
+        if self.num_layers < 2:
+            raise ValueError("need at least 2 layers (one per direction)")
+        if self.num_nets < 1:
+            raise ValueError("need at least one net")
+        if not 0 < self.target_utilization < 1:
+            raise ValueError("target_utilization must be in (0, 1)")
+
+
+def generate(spec: SyntheticSpec) -> Benchmark:
+    """Generate the :class:`Benchmark` described by ``spec``."""
+    rng = make_rng(spec.seed, "synthetic", spec.name)
+    nets = _generate_nets(spec, rng)
+    stack = _build_stack(spec, nets)
+    grid = GridGraph(spec.nx, spec.ny, stack)
+    bench = Benchmark(name=spec.name, grid=grid, nets=nets)
+    _apply_adjustments(spec, bench, rng)
+    return bench
+
+
+# -- net population ----------------------------------------------------------
+
+
+def _clip(v: int, lo: int, hi: int) -> int:
+    return max(lo, min(hi, v))
+
+
+def _generate_nets(spec: SyntheticSpec, rng) -> List[Net]:
+    nets: List[Net] = []
+    num_critical = max(3, int(round(spec.critical_fraction * spec.num_nets)))
+    num_critical = min(num_critical, spec.num_nets)
+    cap_lo, cap_hi = spec.pin_cap_range
+
+    def pin(x: int, y: int) -> Pin:
+        cap = float(rng.uniform(cap_lo, cap_hi))
+        return Pin(_clip(x, 0, spec.nx - 1), _clip(y, 0, spec.ny - 1), 1, cap)
+
+    # Long, high-fanout nets first: these are the timing-critical population.
+    for i in range(num_critical):
+        fanout = int(rng.integers(4, 17))
+        span_x = int(spec.nx * rng.uniform(0.45, 0.9))
+        span_y = int(spec.ny * rng.uniform(0.45, 0.9))
+        x0 = int(rng.integers(0, max(spec.nx - span_x, 1)))
+        y0 = int(rng.integers(0, max(spec.ny - span_y, 1)))
+        pins = [pin(x0, y0)]
+        for _ in range(fanout):
+            px = x0 + int(rng.integers(0, span_x + 1))
+            py = y0 + int(rng.integers(0, span_y + 1))
+            pins.append(pin(px, py))
+        nets.append(Net(id=i, name=f"crit{i}", pins=pins))
+
+    # Background nets: local clusters with small fanout.
+    for i in range(num_critical, spec.num_nets):
+        r = rng.random()
+        if r < 0.60:
+            fanout = 1
+        elif r < 0.85:
+            fanout = int(rng.integers(2, 4))
+        else:
+            fanout = int(rng.integers(4, 9))
+        cx = int(rng.integers(0, spec.nx))
+        cy = int(rng.integers(0, spec.ny))
+        spread = max(2, int(rng.exponential(scale=max(spec.nx, spec.ny) / 10.0)))
+        pins = [pin(cx, cy)]
+        for _ in range(fanout):
+            px = cx + int(rng.integers(-spread, spread + 1))
+            py = cy + int(rng.integers(-spread, spread + 1))
+            pins.append(pin(px, py))
+        nets.append(Net(id=i, name=f"net{i}", pins=pins))
+    return nets
+
+
+# -- capacity sizing ------------------------------------------------------------
+
+
+def _build_stack(spec: SyntheticSpec, nets: List[Net]) -> LayerStack:
+    profile = spec.rc or industrial_rc(spec.num_layers)
+    directions = alternating_directions(spec.num_layers)
+
+    # Directional demand estimated from pin bounding boxes (the lower bound
+    # any router must spend).
+    demand_x = 0
+    demand_y = 0
+    for net in nets:
+        xs = [p.x for p in net.pins]
+        ys = [p.y for p in net.pins]
+        demand_x += max(xs) - min(xs)
+        demand_y += max(ys) - min(ys)
+
+    edges_h = max((spec.nx - 1) * spec.ny, 1)
+    edges_v = max(spec.nx * (spec.ny - 1), 1)
+
+    # Real BEOL stacks double wire width per tier, so upper (fast) layers
+    # hold *fewer* tracks — the scarcity that makes layer assignment a
+    # contention problem.  Track counts shrink per tier; the per-direction
+    # total is sized so routing runs at the target utilization.
+    def tier_weight(layer_idx: int) -> float:
+        return spec.track_tier_shrink ** ((layer_idx - 1) // 2)
+
+    def per_layer_tracks(demand: int, edges: int, direction: Direction) -> dict:
+        weights = {
+            i + 1: tier_weight(i + 1)
+            for i, d in enumerate(directions)
+            if d is direction
+        }
+        total_needed = demand / edges / spec.target_utilization
+        weight_sum = sum(weights.values()) or 1.0
+        base = total_needed / weight_sum
+        return {l: max(int(math.ceil(base * w)), 1) for l, w in weights.items()}
+
+    tracks_h = per_layer_tracks(demand_x, edges_h, Direction.HORIZONTAL)
+    tracks_v = per_layer_tracks(demand_y, edges_v, Direction.VERTICAL)
+
+    width, spacing = 1.0, 1.0
+    pitch = width + spacing
+    layers = []
+    for i, direction in enumerate(directions):
+        tracks = (
+            tracks_h[i + 1]
+            if direction is Direction.HORIZONTAL
+            else tracks_v[i + 1]
+        )
+        layers.append(
+            Layer(
+                index=i + 1,
+                direction=direction,
+                unit_resistance=profile.unit_resistance[i],
+                unit_capacitance=profile.unit_capacitance[i],
+                min_width=width,
+                min_spacing=spacing,
+                default_capacity=tracks * pitch,
+            )
+        )
+    return LayerStack(
+        layers=tuple(layers),
+        via_resistances=profile.via_resistance,
+        via_capacitances=profile.via_capacitance,
+        via_width=1.0,
+        via_spacing=1.0,
+        tile_width=10.0,
+        tile_height=10.0,
+    )
+
+
+def _apply_adjustments(spec: SyntheticSpec, bench: Benchmark, rng) -> None:
+    """Reduce a small fraction of edges, emulating routing blockages."""
+    grid = bench.grid
+    for layer in grid.stack:
+        orient = "H" if layer.direction is Direction.HORIZONTAL else "V"
+        edges = list(grid.iter_edges(orient))
+        if not edges:
+            continue
+        count = int(len(edges) * spec.adjustment_fraction)
+        if count == 0:
+            continue
+        picks = rng.choice(len(edges), size=count, replace=False)
+        for idx in picks:
+            edge = edges[int(idx)]
+            current = grid.capacity(edge, layer.index)
+            reduced = max(current // 2, 1)
+            grid.set_capacity(edge, layer.index, reduced)
+            bench.adjustments[(edge, layer.index)] = reduced

@@ -1,0 +1,84 @@
+"""ISPD'08 benchmark writer — the inverse of :mod:`repro.ispd.parser`.
+
+Used by the synthetic generator to materialize instances on disk and by the
+round-trip tests that pin down the format semantics.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO, Union
+
+from repro.grid.layers import Direction
+from repro.ispd.benchmark import Benchmark
+
+
+def write_ispd08(bench: Benchmark, target: Union[str, TextIO, None] = None) -> str:
+    """Serialize ``bench`` in ISPD'08 format.
+
+    ``target`` may be a path, an open text handle, or ``None``; the text is
+    returned either way.  Pin tile coordinates are emitted at tile centres so
+    parsing the output reproduces the same tiles.
+    """
+    buf = io.StringIO()
+    stack = bench.stack
+    grid = bench.grid
+    num_layers = stack.num_layers
+
+    buf.write(f"grid {grid.nx_tiles} {grid.ny_tiles} {num_layers}\n")
+
+    def cap_list(direction: Direction) -> str:
+        vals = []
+        for layer in stack:
+            if layer.direction is direction:
+                vals.append(layer.default_capacity)
+            else:
+                vals.append(0.0)
+        return " ".join(_fmt(v) for v in vals)
+
+    buf.write(f"vertical capacity {cap_list(Direction.VERTICAL)}\n")
+    buf.write(f"horizontal capacity {cap_list(Direction.HORIZONTAL)}\n")
+    buf.write(
+        "minimum width " + " ".join(_fmt(l.min_width) for l in stack) + "\n"
+    )
+    buf.write(
+        "minimum spacing " + " ".join(_fmt(l.min_spacing) for l in stack) + "\n"
+    )
+    buf.write(
+        "via spacing " + " ".join(_fmt(stack.via_spacing) for _ in stack) + "\n"
+    )
+    llx, lly = bench.lower_left
+    buf.write(f"{_fmt(llx)} {_fmt(lly)} {_fmt(stack.tile_width)} {_fmt(stack.tile_height)}\n")
+
+    buf.write(f"num net {len(bench.nets)}\n")
+    for net in bench.nets:
+        buf.write(f"{net.name} {net.id} {len(net.pins)}\n")
+        for pin in net.pins:
+            px = llx + (pin.x + 0.5) * stack.tile_width
+            py = lly + (pin.y + 0.5) * stack.tile_height
+            buf.write(f"{_fmt(px)} {_fmt(py)} {pin.layer}\n")
+
+    buf.write(f"{len(bench.adjustments)}\n")
+    for (edge, layer), tracks in sorted(bench.adjustments.items()):
+        orient, x, y = edge
+        if orient == "H":
+            x2, y2 = x + 1, y
+        else:
+            x2, y2 = x, y + 1
+        reduced = tracks * stack.layer(layer).pitch
+        buf.write(f"{x} {y} {layer} {x2} {y2} {layer} {_fmt(reduced)}\n")
+
+    text = buf.getvalue()
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    elif target is not None:
+        target.write(text)
+    return text
+
+
+def _fmt(value: float) -> str:
+    """Integers without trailing '.0', floats as-is."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))

@@ -1,0 +1,31 @@
+"""Routing substrate: nets, Steiner topologies, 2-D global routing, and the
+initial (via-count-driven) layer assignment.
+
+The paper assumes "initial routing and layer assignment" as input (Problem 1);
+in the original work that input came from NCTU-GR.  This subpackage is our
+stand-in: a congestion-aware pattern/maze router over rectilinear Steiner
+topologies, followed by a congestion-constrained net-by-net dynamic-programming
+layer assignment in the style of Lee & Wang (ref. [5] of the paper).
+"""
+
+from repro.route.net import Net, Pin, Segment
+from repro.route.tree import NetTopology, build_topology
+from repro.route.steiner import steiner_tree_edges
+from repro.route.router import GlobalRouter, RouterConfig
+from repro.route.assignment import InitialAssigner, AssignerConfig
+from repro.route.validation import ValidationReport, validate_solution
+
+__all__ = [
+    "ValidationReport",
+    "validate_solution",
+    "Net",
+    "Pin",
+    "Segment",
+    "NetTopology",
+    "build_topology",
+    "steiner_tree_edges",
+    "GlobalRouter",
+    "RouterConfig",
+    "InitialAssigner",
+    "AssignerConfig",
+]

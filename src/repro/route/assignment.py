@@ -1,0 +1,148 @@
+"""Initial net-by-net layer assignment.
+
+Produces the "initial layer assignment" input of Problem 1.  Following the
+congestion-constrained via-minimization style of Lee & Wang (ref. [5] of the
+paper), each net is assigned independently by a dynamic program over its
+segment tree:
+
+- segment cost: congestion penalty for occupying a track on (edge, layer),
+  plus a mild bias that keeps non-critical wires on lower layers (leaving
+  the fast upper layers available for the incremental timing optimizer);
+- junction cost: via cuts between a parent layer and a child layer, plus the
+  cuts needed to reach pin layers.
+
+Nets are processed longest-first so that long nets — the ones that genuinely
+need specific resources — see the emptiest grid; this is the fixed-net-order
+weakness the negotiation literature (ref. [7]) points out, which is fine
+here because CPLA/TILA later re-optimize the nets that matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.grid.graph import GridGraph
+from repro.route.net import Net
+from repro.route.occupancy import commit_net
+from repro.utils import get_logger
+
+log = get_logger(__name__)
+
+
+@dataclass
+class AssignerConfig:
+    """Cost weights of the initial-assignment DP."""
+
+    congestion_weight: float = 16.0
+    via_weight: float = 1.0
+    upper_layer_bias: float = 0.05
+    order: str = "wirelength_desc"  # or "wirelength_asc", "id"
+
+    def __post_init__(self) -> None:
+        if self.order not in ("wirelength_desc", "wirelength_asc", "id"):
+            raise ValueError(f"unknown net order {self.order!r}")
+
+
+class InitialAssigner:
+    """Assigns layers to every net's segments and commits them to the grid."""
+
+    def __init__(self, grid: GridGraph, config: Optional[AssignerConfig] = None) -> None:
+        self.grid = grid
+        self.config = config or AssignerConfig()
+
+    # -- cost terms ---------------------------------------------------------
+
+    def _segment_cost(self, seg, layer: int) -> float:
+        """Congestion + layer-bias cost of placing ``seg`` on ``layer``."""
+        cfg = self.config
+        cost = cfg.upper_layer_bias * layer * seg.length
+        for edge in seg.edges():
+            remaining = self.grid.remaining(edge, layer)
+            if remaining <= 0:
+                cost += cfg.congestion_weight * (1 - remaining)
+            else:
+                # Soft load-balancing: fuller edges cost slightly more.
+                cap = self.grid.capacity(edge, layer)
+                cost += (cap - remaining + 1) / (cap + 1.0)
+        return cost
+
+    def _via_cost(self, layer_a: int, layer_b: int) -> float:
+        return self.config.via_weight * abs(layer_a - layer_b)
+
+    # -- per-net DP -----------------------------------------------------------
+
+    def assign_net(self, net: Net) -> None:
+        """Pick layers for one net (DP over its segment tree) and commit."""
+        topo = net.topology
+        if topo is None:
+            raise ValueError(f"net {net.name} has no topology; route it first")
+        if not topo.segments:
+            # Local net: only pin-layer via stacks, derived automatically.
+            commit_net(self.grid, topo)
+            return
+
+        candidates: Dict[int, Tuple[int, ...]] = {
+            seg.id: self.grid.stack.layers_of(seg.direction) for seg in topo.segments
+        }
+        dp: Dict[int, Dict[int, float]] = {}
+        best_child_layer: Dict[Tuple[int, int, int], int] = {}
+
+        for sid in topo.reverse_topo_order():
+            seg = topo.segments[sid]
+            dp[sid] = {}
+            pin_layers = [
+                p.layer for p in topo.pins_at.get(topo.child_tile[sid], [])
+            ]
+            for layer in candidates[sid]:
+                cost = self._segment_cost(seg, layer)
+                cost += sum(self._via_cost(layer, pl) for pl in pin_layers)
+                for cid in topo.children[sid]:
+                    best = None
+                    for child_layer in candidates[cid]:
+                        total = dp[cid][child_layer] + self._via_cost(layer, child_layer)
+                        if best is None or total < best[0]:
+                            best = (total, child_layer)
+                    assert best is not None
+                    cost += best[0]
+                    best_child_layer[(sid, layer, cid)] = best[1]
+                dp[sid][layer] = cost
+
+        # Roots couple through the source pin's layer.
+        source_layer = net.source.layer
+        chosen: Dict[int, int] = {}
+        for rid in topo.root_segments():
+            best_layer = min(
+                candidates[rid],
+                key=lambda l: dp[rid][l] + self._via_cost(l, source_layer),
+            )
+            chosen[rid] = best_layer
+
+        # Back-propagate choices down the tree.
+        stack: List[int] = list(chosen)
+        while stack:
+            sid = stack.pop()
+            layer = chosen[sid]
+            topo.segments[sid].layer = layer
+            for cid in topo.children[sid]:
+                chosen[cid] = best_child_layer[(sid, layer, cid)]
+                stack.append(cid)
+
+        commit_net(self.grid, topo)
+
+    def assign(self, nets: Sequence[Net]) -> None:
+        """Assign every net, in the configured order."""
+        cfg = self.config
+        if cfg.order == "wirelength_desc":
+            order = sorted(nets, key=lambda n: (-len(n.route_edges), n.id))
+        elif cfg.order == "wirelength_asc":
+            order = sorted(nets, key=lambda n: (len(n.route_edges), n.id))
+        else:
+            order = sorted(nets, key=lambda n: n.id)
+        for net in order:
+            self.assign_net(net)
+        log.debug(
+            "initial assignment done: %d vias, wire overflow %d",
+            self.grid.total_vias(),
+            self.grid.total_wire_overflow(),
+        )

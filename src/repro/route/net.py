@@ -1,0 +1,140 @@
+"""Nets, pins, and wire segments.
+
+A *segment* is a maximal straight run of routed G-cell edges that carries no
+internal branch point or pin; layer assignment places each segment wholly on
+one layer whose preferred direction matches the segment axis (Section 2.1 of
+the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.grid.graph import Edge2D, Tile
+from repro.grid.layers import Direction
+
+
+@dataclass(frozen=True)
+class Pin:
+    """A net terminal: a tile location plus the layer the pin sits on."""
+
+    x: int
+    y: int
+    layer: int = 1
+    capacitance: float = 1.0
+
+    @property
+    def tile(self) -> Tile:
+        return (self.x, self.y)
+
+
+@dataclass
+class Segment:
+    """A maximal straight wire of one net.
+
+    Coordinates are normalized so ``(x1, y1)`` is the lower/left endpoint.
+    ``layer == 0`` means "not yet assigned".
+    """
+
+    id: int
+    net_id: int
+    axis: str  # 'H' or 'V'
+    x1: int
+    y1: int
+    x2: int
+    y2: int
+    layer: int = 0
+
+    def __post_init__(self) -> None:
+        if self.axis == "H":
+            if self.y1 != self.y2 or self.x1 >= self.x2:
+                raise ValueError(f"bad horizontal segment {self}")
+        elif self.axis == "V":
+            if self.x1 != self.x2 or self.y1 >= self.y2:
+                raise ValueError(f"bad vertical segment {self}")
+        else:
+            raise ValueError(f"bad axis {self.axis!r}")
+
+    @property
+    def direction(self) -> Direction:
+        return Direction.HORIZONTAL if self.axis == "H" else Direction.VERTICAL
+
+    @property
+    def length(self) -> int:
+        """Number of G-cell edges the segment spans."""
+        if self.axis == "H":
+            return self.x2 - self.x1
+        return self.y2 - self.y1
+
+    @property
+    def endpoints(self) -> Tuple[Tile, Tile]:
+        return (self.x1, self.y1), (self.x2, self.y2)
+
+    def edges(self) -> List[Edge2D]:
+        """The unit 2-D edges occupied by the segment."""
+        if self.axis == "H":
+            return [("H", x, self.y1) for x in range(self.x1, self.x2)]
+        return [("V", self.x1, y) for y in range(self.y1, self.y2)]
+
+    def tiles(self) -> List[Tile]:
+        """All tiles touched by the segment, endpoint to endpoint."""
+        if self.axis == "H":
+            return [(x, self.y1) for x in range(self.x1, self.x2 + 1)]
+        return [(self.x1, y) for y in range(self.y1, self.y2 + 1)]
+
+    def midpoint(self) -> Tuple[float, float]:
+        """Geometric centre — the point partitioning buckets segments by."""
+        return ((self.x1 + self.x2) / 2.0, (self.y1 + self.y2) / 2.0)
+
+    def other_endpoint(self, tile: Tile) -> Tile:
+        a, b = self.endpoints
+        if tile == a:
+            return b
+        if tile == b:
+            return a
+        raise ValueError(f"{tile} is not an endpoint of segment {self.id}")
+
+
+@dataclass
+class Net:
+    """A net: a named collection of pins plus (after routing) a topology."""
+
+    id: int
+    name: str
+    pins: List[Pin] = field(default_factory=list)
+    # Filled by the router / topology builder:
+    route_edges: List[Edge2D] = field(default_factory=list)
+    topology: Optional["NetTopology"] = None  # type: ignore[name-defined]  # noqa: F821
+
+    @property
+    def num_pins(self) -> int:
+        return len(self.pins)
+
+    @property
+    def pin_tiles(self) -> List[Tile]:
+        return [p.tile for p in self.pins]
+
+    @property
+    def source(self) -> Pin:
+        """By ISPD convention the first pin drives the net."""
+        if not self.pins:
+            raise ValueError(f"net {self.name} has no pins")
+        return self.pins[0]
+
+    @property
+    def sinks(self) -> List[Pin]:
+        return self.pins[1:]
+
+    def hpwl(self) -> int:
+        """Half-perimeter wirelength of the pin bounding box, in G-cells."""
+        xs = [p.x for p in self.pins]
+        ys = [p.y for p in self.pins]
+        if not xs:
+            return 0
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    def is_local(self) -> bool:
+        """True when every pin shares one tile (no routing needed)."""
+        tiles = {p.tile for p in self.pins}
+        return len(tiles) <= 1

@@ -1,0 +1,312 @@
+"""Congestion-aware 2-D global router.
+
+Produces the "initial routing" input of Problem 1 (CPLA).  The router works
+on the 2-D projection of the grid (per-edge capacity summed over the layers
+of matching direction) in the standard two-phase style:
+
+1. *Pattern routing*: every net's Steiner topology is embedded connection by
+   connection, choosing the cheapest L- or Z-shaped monotone path under the
+   current congestion cost.
+2. *Negotiated rip-up-and-reroute*: nets crossing overflowed edges are torn
+   up and maze-rerouted with history-augmented costs (PathFinder style) for a
+   configurable number of rounds.
+
+The router fills ``net.route_edges``; building the segment tree is the
+caller's job (:func:`repro.route.tree.build_topology`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.grid.graph import Edge2D, GridGraph, Tile, edge_between, edge_endpoints
+from repro.grid.layers import Direction
+from repro.route.net import Net
+from repro.route.steiner import steiner_tree_edges
+from repro.utils import get_logger
+
+log = get_logger(__name__)
+
+
+@dataclass
+class RouterConfig:
+    """Tuning knobs of the global router."""
+
+    rounds: int = 3
+    overflow_penalty: float = 8.0
+    history_increment: float = 1.5
+    bend_penalty: float = 0.4
+    steiner_refine: bool = True
+    maze_expansion_limit: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError("need at least one routing round")
+
+
+class GlobalRouter:
+    """Routes nets on the 2-D projection of a :class:`GridGraph`."""
+
+    def __init__(self, grid: GridGraph, config: Optional[RouterConfig] = None) -> None:
+        self.grid = grid
+        self.config = config or RouterConfig()
+        nx_t, ny_t = grid.nx_tiles, grid.ny_tiles
+        self._cap = {
+            "H": np.zeros((max(nx_t - 1, 0), ny_t), dtype=np.int64),
+            "V": np.zeros((nx_t, max(ny_t - 1, 0)), dtype=np.int64),
+        }
+        for layer in grid.stack:
+            key = "H" if layer.direction is Direction.HORIZONTAL else "V"
+            self._cap[key] += grid.capacity_array(layer.index)
+        self._usage = {k: np.zeros_like(v) for k, v in self._cap.items()}
+        self._history = {k: np.zeros(v.shape, dtype=np.float64) for k, v in self._cap.items()}
+
+    # -- cost model ---------------------------------------------------------
+
+    def _edge_cost(self, edge: Edge2D) -> float:
+        orient, x, y = edge
+        cap = self._cap[orient][x, y]
+        use = self._usage[orient][x, y]
+        cost = 1.0 + self._history[orient][x, y]
+        if use + 1 > cap:
+            cost += self.config.overflow_penalty * (use + 1 - cap)
+        return cost
+
+    def _path_cost(self, tiles: Sequence[Tile]) -> float:
+        cost = 0.0
+        bends = 0
+        last_axis = None
+        for a, b in zip(tiles, tiles[1:]):
+            edge = edge_between(a, b)
+            cost += self._edge_cost(edge)
+            axis = edge[0]
+            if last_axis is not None and axis != last_axis:
+                bends += 1
+            last_axis = axis
+        return cost + self.config.bend_penalty * bends
+
+    # -- usage bookkeeping ----------------------------------------------------
+
+    def _occupy(self, edges: Sequence[Edge2D], delta: int) -> None:
+        for orient, x, y in edges:
+            self._usage[orient][x, y] += delta
+
+    def overflowed_edges(self) -> Set[Edge2D]:
+        """2-D edges whose aggregate usage exceeds aggregate capacity."""
+        out: Set[Edge2D] = set()
+        for orient, arr in self._usage.items():
+            over = np.argwhere(arr > self._cap[orient])
+            out.update((orient, int(x), int(y)) for x, y in over)
+        return out
+
+    def total_overflow(self) -> int:
+        return int(
+            sum(
+                np.clip(self._usage[o] - self._cap[o], 0, None).sum()
+                for o in ("H", "V")
+            )
+        )
+
+    def usage_view(self, orient: str) -> np.ndarray:
+        return self._usage[orient].copy()
+
+    # -- pattern routing ----------------------------------------------------
+
+    def _monotone_candidates(self, a: Tile, b: Tile) -> List[List[Tile]]:
+        """L- and Z-shaped monotone tile paths from ``a`` to ``b``."""
+        (ax, ay), (bx, by) = a, b
+        sx = 1 if bx >= ax else -1
+        sy = 1 if by >= ay else -1
+        xs = list(range(ax, bx + sx, sx)) if ax != bx else [ax]
+        ys = list(range(ay, by + sy, sy)) if ay != by else [ay]
+        if len(xs) == 1 or len(ys) == 1:
+            # Straight connection: one canonical path.
+            if len(xs) == 1:
+                return [[(ax, y) for y in ys]]
+            return [[(x, ay) for x in xs]]
+        paths = []
+        # Z with a vertical jog at each x (includes the two L shapes).
+        for jog_x in xs:
+            path = [(x, ay) for x in xs if (x - ax) * sx <= (jog_x - ax) * sx]
+            path += [(jog_x, y) for y in ys[1:]]
+            path += [(x, by) for x in xs if (x - ax) * sx > (jog_x - ax) * sx]
+            paths.append(path)
+        # Z with a horizontal jog at each interior y (Ls already added above).
+        for jog_y in ys[1:-1]:
+            path = [(ax, y) for y in ys if (y - ay) * sy <= (jog_y - ay) * sy]
+            path += [(x, jog_y) for x in xs[1:]]
+            path += [(bx, y) for y in ys if (y - ay) * sy > (jog_y - ay) * sy]
+            paths.append(path)
+        return paths
+
+    def _embed_connection(self, a: Tile, b: Tile) -> List[Tile]:
+        if a == b:
+            return [a]
+        candidates = self._monotone_candidates(a, b)
+        return min(candidates, key=self._path_cost)
+
+    def _route_net_pattern(self, net: Net) -> List[Edge2D]:
+        tiles = list(dict.fromkeys(net.pin_tiles))
+        if len(tiles) < 2:
+            return []
+        connections = steiner_tree_edges(tiles, refine=self.config.steiner_refine)
+        edge_set: Set[Edge2D] = set()
+        for a, b in connections:
+            path = self._embed_connection(a, b)
+            for u, v in zip(path, path[1:]):
+                edge_set.add(edge_between(u, v))
+        return _extract_tree(edge_set, net.source.tile, set(net.pin_tiles), net.name)
+
+    # -- maze rerouting ---------------------------------------------------------
+
+    def _maze_route_net(self, net: Net) -> List[Edge2D]:
+        """Reroute a whole net by growing a tree with Dijkstra searches."""
+        pins = list(dict.fromkeys(net.pin_tiles))
+        tree_tiles: Set[Tile] = {net.source.tile}
+        remaining = [t for t in pins if t not in tree_tiles]
+        edges: Set[Edge2D] = set()
+        while remaining:
+            path = self._dijkstra(tree_tiles, set(remaining))
+            if path is None:
+                raise RuntimeError(f"maze routing failed for net {net.name}")
+            for u, v in zip(path, path[1:]):
+                edges.add(edge_between(u, v))
+            tree_tiles.update(path)
+            remaining = [t for t in remaining if t not in tree_tiles]
+        return _extract_tree(edges, net.source.tile, set(pins), net.name)
+
+    def _neighbors(self, tile: Tile) -> List[Tile]:
+        x, y = tile
+        out = []
+        if x > 0:
+            out.append((x - 1, y))
+        if x + 1 < self.grid.nx_tiles:
+            out.append((x + 1, y))
+        if y > 0:
+            out.append((x, y - 1))
+        if y + 1 < self.grid.ny_tiles:
+            out.append((x, y + 1))
+        return out
+
+    def _dijkstra(self, sources: Set[Tile], targets: Set[Tile]) -> Optional[List[Tile]]:
+        dist: Dict[Tile, float] = {s: 0.0 for s in sources}
+        prev: Dict[Tile, Optional[Tile]] = {s: None for s in sources}
+        heap: List[Tuple[float, Tile]] = [(0.0, s) for s in sources]
+        heapq.heapify(heap)
+        expanded = 0
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, float("inf")):
+                continue
+            if u in targets:
+                path = [u]
+                while prev[path[-1]] is not None:
+                    path.append(prev[path[-1]])  # type: ignore[arg-type]
+                path.reverse()
+                return path
+            expanded += 1
+            if expanded > self.config.maze_expansion_limit:
+                return None
+            for v in self._neighbors(u):
+                cost = self._edge_cost(edge_between(u, v))
+                nd = d + cost
+                if nd < dist.get(v, float("inf")):
+                    dist[v] = nd
+                    prev[v] = u
+                    heapq.heappush(heap, (nd, v))
+        return None
+
+    # -- top level -----------------------------------------------------------
+
+    def route(self, nets: Sequence[Net]) -> None:
+        """Route every net, filling ``net.route_edges``.
+
+        Local (single-tile) nets get an empty edge list.  Multi-round
+        negotiation reroutes nets that cross overflowed edges.
+        """
+        order = sorted(nets, key=lambda n: (n.hpwl(), n.num_pins, n.id))
+        for net in order:
+            net.route_edges = self._route_net_pattern(net)
+            self._occupy(net.route_edges, +1)
+
+        for round_idx in range(1, self.config.rounds):
+            over = self.overflowed_edges()
+            if not over:
+                break
+            for orient, x, y in over:
+                excess = self._usage[orient][x, y] - self._cap[orient][x, y]
+                self._history[orient][x, y] += self.config.history_increment * excess
+            victims = [n for n in order if any(e in over for e in n.route_edges)]
+            log.debug(
+                "negotiation round %d: overflow=%d, rerouting %d nets",
+                round_idx, self.total_overflow(), len(victims),
+            )
+            for net in victims:
+                self._occupy(net.route_edges, -1)
+                net.route_edges = self._maze_route_net(net)
+                self._occupy(net.route_edges, +1)
+
+
+def _extract_tree(
+    edges: Set[Edge2D], root: Tile, pin_tiles: Set[Tile], net_name: str
+) -> List[Edge2D]:
+    """Reduce an edge union to a tree spanning the pins.
+
+    Embedding several connections can overlap and create cycles; a BFS from
+    the root keeps one tree, then non-pin dangling leaves are pruned.
+    """
+    adj: Dict[Tile, Set[Tile]] = {}
+    for e in edges:
+        a, b = edge_endpoints(e)
+        adj.setdefault(a, set()).add(b)
+        adj.setdefault(b, set()).add(a)
+    if root not in adj:
+        if pin_tiles == {root}:
+            return []
+        raise RuntimeError(f"net {net_name}: root tile not in routed area")
+
+    parent: Dict[Tile, Optional[Tile]] = {root: None}
+    order = [root]
+    queue = [root]
+    while queue:
+        u = queue.pop(0)
+        for v in adj[u]:
+            if v not in parent:
+                parent[v] = u
+                order.append(v)
+                queue.append(v)
+    missing = [t for t in pin_tiles if t not in parent]
+    if missing:
+        raise RuntimeError(f"net {net_name}: pins {missing} unreachable in route")
+
+    tree_adj: Dict[Tile, Set[Tile]] = {t: set() for t in parent}
+    for t in order[1:]:
+        p = parent[t]
+        assert p is not None
+        tree_adj[p].add(t)
+        tree_adj[t].add(p)
+
+    # Prune dangling non-pin leaves left over from overlap removal.
+    changed = True
+    while changed:
+        changed = False
+        for t in list(tree_adj):
+            if len(tree_adj[t]) == 1 and t not in pin_tiles and t != root:
+                (nbr,) = tree_adj[t]
+                tree_adj[nbr].discard(t)
+                del tree_adj[t]
+                changed = True
+
+    out: List[Edge2D] = []
+    seen: Set[frozenset] = set()
+    for u, nbrs in tree_adj.items():
+        for v in nbrs:
+            key = frozenset((u, v))
+            if key not in seen:
+                seen.add(key)
+                out.append(edge_between(u, v))
+    return out

@@ -1,0 +1,138 @@
+"""Rectilinear Steiner topology construction.
+
+Global routers first pick an abstract tree topology over a net's pins and
+then embed each tree connection into grid paths.  We use a Manhattan-distance
+Prim MST refined by an iterated 1-Steiner pass over Hanan-grid candidates —
+the classic laptop-scale stand-in for FLUTE-quality trees.
+
+The output is a list of abstract connections ``(tile_a, tile_b)``; the
+router (:mod:`repro.route.router`) chooses the actual L/Z/maze embedding.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.grid.graph import Tile
+
+Connection = Tuple[Tile, Tile]
+
+
+def manhattan(a: Tile, b: Tile) -> int:
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def mst_connections(tiles: Sequence[Tile]) -> List[Connection]:
+    """Prim's MST over tiles under Manhattan distance, O(n^2).
+
+    Returns one connection per MST edge; an empty list for <2 tiles.
+    """
+    points = list(dict.fromkeys(tiles))  # dedupe, keep order
+    n = len(points)
+    if n < 2:
+        return []
+    in_tree = [False] * n
+    best_dist = [manhattan(points[0], p) for p in points]
+    best_from = [0] * n
+    in_tree[0] = True
+    best_dist[0] = 0
+    connections: List[Connection] = []
+    for _ in range(n - 1):
+        # pick the nearest out-of-tree point
+        k = min(
+            (i for i in range(n) if not in_tree[i]),
+            key=lambda i: (best_dist[i], i),
+        )
+        in_tree[k] = True
+        connections.append((points[best_from[k]], points[k]))
+        for i in range(n):
+            if not in_tree[i]:
+                d = manhattan(points[k], points[i])
+                if d < best_dist[i]:
+                    best_dist[i] = d
+                    best_from[i] = k
+    return connections
+
+
+def tree_cost(connections: Iterable[Connection]) -> int:
+    return sum(manhattan(a, b) for a, b in connections)
+
+
+def _hanan_candidates(points: Sequence[Tile]) -> Set[Tile]:
+    xs = sorted({p[0] for p in points})
+    ys = sorted({p[1] for p in points})
+    existing = set(points)
+    return {(x, y) for x in xs for y in ys if (x, y) not in existing}
+
+
+def steiner_tree_edges(
+    tiles: Sequence[Tile],
+    refine: bool = True,
+    max_refine_points: int = 12,
+    max_rounds: int = 3,
+) -> List[Connection]:
+    """Build a rectilinear Steiner topology over ``tiles``.
+
+    Starts from the Manhattan MST and, for small nets, greedily inserts
+    Hanan-grid Steiner points while each insertion strictly reduces the MST
+    cost (iterated 1-Steiner).  Steiner points that end up with tree degree
+    below 3 are discarded — they would not save wirelength.
+    """
+    points = list(dict.fromkeys(tiles))
+    if len(points) < 2:
+        return []
+    best = mst_connections(points)
+    if not refine or len(points) > max_refine_points:
+        return best
+
+    best_cost = tree_cost(best)
+    chosen: List[Tile] = []
+    for _ in range(max_rounds):
+        improved = False
+        candidates = _hanan_candidates(points + chosen)
+        for cand in sorted(candidates):
+            trial_points = points + chosen + [cand]
+            trial = mst_connections(trial_points)
+            trial = _prune_low_degree_steiner(trial, set(points))
+            cost = tree_cost(trial)
+            if cost < best_cost:
+                best, best_cost = trial, cost
+                chosen.append(cand)
+                improved = True
+                break
+        if not improved:
+            break
+    return best
+
+
+def _prune_low_degree_steiner(
+    connections: List[Connection], pins: Set[Tile]
+) -> List[Connection]:
+    """Remove degree<=2 non-pin points by splicing their connections.
+
+    Degree-1 Steiner points are dropped with their dangling connection;
+    degree-2 points are bypassed (their two neighbours joined directly, which
+    never increases Manhattan cost beyond the original detour).
+    """
+    conns = list(connections)
+    changed = True
+    while changed:
+        changed = False
+        degree: dict = {}
+        for a, b in conns:
+            degree[a] = degree.get(a, 0) + 1
+            degree[b] = degree.get(b, 0) + 1
+        for node, deg in degree.items():
+            if node in pins or deg >= 3:
+                continue
+            incident = [c for c in conns if node in c]
+            conns = [c for c in conns if node not in c]
+            if deg == 2:
+                (a1, b1), (a2, b2) = incident
+                n1 = b1 if a1 == node else a1
+                n2 = b2 if a2 == node else a2
+                if n1 != n2:
+                    conns.append((n1, n2))
+            changed = True
+            break
+    return conns

@@ -1,0 +1,131 @@
+"""Whole-solution consistency checking.
+
+`validate_solution` audits a routed, layer-assigned benchmark the way a
+downstream consumer (detailed router, sign-off flow) would:
+
+- every net's route edges form a tree spanning its pins (via the topology);
+- every segment sits on a direction-legal layer;
+- the grid's wire-usage counters equal the usage recomputed from scratch
+  out of the nets (no double counting, no leaks from release/commit);
+- the via-usage counters equal the stacks implied by the assignments;
+- capacity violations are enumerated rather than silently tolerated.
+
+The optimizers maintain these invariants incrementally; the validator
+re-derives them from first principles, so tests (and users) can catch any
+bookkeeping drift after arbitrarily long engine runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.grid.graph import Edge2D
+from repro.ispd.benchmark import Benchmark
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one audit; ``ok`` is True when nothing is wrong.
+
+    Capacity overflows are listed separately (``wire_overflows``) because
+    inputs with pre-existing overflow are legal for the incremental problem;
+    they make the report "dirty" only if ``strict_capacity`` was requested.
+    """
+
+    errors: List[str] = field(default_factory=list)
+    wire_overflows: List[Tuple[Edge2D, int, int]] = field(default_factory=list)
+    via_overflow: int = 0
+    strict_capacity: bool = False
+
+    @property
+    def ok(self) -> bool:
+        if self.errors:
+            return False
+        if self.strict_capacity and self.wire_overflows:
+            return False
+        return True
+
+    def summary(self) -> str:
+        lines = [f"errors: {len(self.errors)}"]
+        lines += [f"  - {e}" for e in self.errors[:20]]
+        if len(self.errors) > 20:
+            lines.append(f"  ... and {len(self.errors) - 20} more")
+        lines.append(f"wire overflows: {len(self.wire_overflows)}")
+        lines.append(f"via overflow total: {self.via_overflow}")
+        return "\n".join(lines)
+
+
+def validate_solution(bench: Benchmark, strict_capacity: bool = False) -> ValidationReport:
+    """Audit a benchmark's routing + layer assignment against its grid."""
+    report = ValidationReport(strict_capacity=strict_capacity)
+    grid = bench.grid
+    stack = bench.stack
+
+    # Recompute wire and via usage from the nets.
+    wire_usage: Dict[Tuple[Edge2D, int], int] = {}
+    via_usage = np.zeros(
+        (grid.nx_tiles, grid.ny_tiles, max(stack.num_layers - 1, 0)), dtype=np.int64
+    )
+    for net in bench.nets:
+        topo = net.topology
+        if topo is None:
+            report.errors.append(f"net {net.name}: no topology")
+            continue
+        for seg in topo.segments:
+            if seg.layer <= 0:
+                report.errors.append(
+                    f"net {net.name} segment {seg.id}: unassigned layer"
+                )
+                continue
+            if stack.direction_of(seg.layer) is not seg.direction:
+                report.errors.append(
+                    f"net {net.name} segment {seg.id}: layer {seg.layer} routes "
+                    f"{stack.direction_of(seg.layer)}, segment is {seg.direction}"
+                )
+                continue
+            for edge in seg.edges():
+                if not grid.contains_edge(edge):
+                    report.errors.append(
+                        f"net {net.name} segment {seg.id}: edge {edge} off grid"
+                    )
+                    continue
+                key = (edge, seg.layer)
+                wire_usage[key] = wire_usage.get(key, 0) + 1
+        for via in topo.via_stacks():
+            x, y = via.tile
+            if not grid.contains_tile(via.tile):
+                report.errors.append(f"net {net.name}: via tile {via.tile} off grid")
+                continue
+            via_usage[x, y, via.lower - 1 : via.upper - 1] += 1
+
+    # Compare against the grid's counters.
+    for layer in stack:
+        orient = "H" if layer.direction.value == "H" else "V"
+        for edge in grid.iter_edges(orient):
+            expected = wire_usage.get((edge, layer.index), 0)
+            actual = grid.usage(edge, layer.index)
+            if expected != actual:
+                report.errors.append(
+                    f"usage drift at {edge} layer {layer.index}: grid says "
+                    f"{actual}, nets imply {expected}"
+                )
+            cap = grid.capacity(edge, layer.index)
+            if actual > cap:
+                report.wire_overflows.append((edge, layer.index, actual - cap))
+
+    for tile in grid.iter_tiles():
+        x, y = tile
+        for cut in range(1, stack.num_layers):
+            expected = int(via_usage[x, y, cut - 1])
+            actual = grid.via_usage_at(tile, cut)
+            if expected != actual:
+                report.errors.append(
+                    f"via drift at {tile} cut {cut}: grid says {actual}, "
+                    f"nets imply {expected}"
+                )
+
+    report.via_overflow = grid.total_via_overflow()
+    return report

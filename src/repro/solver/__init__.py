@@ -1,0 +1,37 @@
+"""Optimization substrates built from scratch for this reproduction.
+
+The paper uses GUROBI (ILP), CSDP (SDP), and min-cost-flow machinery (inside
+the TILA baseline).  None of those are available offline, so:
+
+- :mod:`repro.solver.milp` wraps :func:`scipy.optimize.milp` (HiGHS) behind
+  a small typed model builder — the GUROBI stand-in;
+- :mod:`repro.solver.sdp` + :mod:`repro.solver.psd` implement a consensus
+  ADMM semidefinite-programming solver — the CSDP stand-in;
+- :mod:`repro.solver.mcmf` is a successive-shortest-path min-cost max-flow
+  — the flow engine used by the TILA baseline's per-edge assignment mode.
+"""
+
+from repro.solver.mcmf import MinCostFlow
+from repro.solver.milp import MilpModel, MilpResult
+from repro.solver.psd import is_psd, project_psd, smat, svec, svec_dim
+from repro.solver.sdp import (
+    ADMMSDPSolver,
+    SDPProblem,
+    SDPResult,
+    SDPSettings,
+)
+
+__all__ = [
+    "MinCostFlow",
+    "MilpModel",
+    "MilpResult",
+    "is_psd",
+    "project_psd",
+    "smat",
+    "svec",
+    "svec_dim",
+    "ADMMSDPSolver",
+    "SDPProblem",
+    "SDPResult",
+    "SDPSettings",
+]

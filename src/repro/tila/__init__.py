@@ -1,0 +1,21 @@
+"""TILA baseline (Yu et al., ICCAD'15, ref. [4] of the paper).
+
+TILA is the state-of-the-art the paper compares against: an incremental
+layer assignment minimizing the *weighted sum* of segment and via delays
+through Lagrangian relaxation of the capacity constraints.  This package
+reimplements it at the fidelity the comparison needs (see DESIGN.md):
+
+- :mod:`repro.tila.lagrangian` — multiplier state and subgradient updates;
+- :mod:`repro.tila.engine` — the iterative net-by-net tree-DP optimizer,
+  with an optional per-edge min-cost-flow legalization pass
+  (:mod:`repro.tila.flow`) built on :mod:`repro.solver.mcmf`.
+
+The two properties the paper leans on are preserved: TILA optimizes total
+rather than worst-path delay, and its outcome depends on the initial
+multiplier values (exposed as ``TILAConfig.initial_multiplier``).
+"""
+
+from repro.tila.engine import TILAConfig, TILAEngine
+from repro.tila.lagrangian import MultiplierState
+
+__all__ = ["TILAConfig", "TILAEngine", "MultiplierState"]

@@ -1,0 +1,276 @@
+"""The TILA baseline engine.
+
+Iterative scheme (ICCAD'15, at the fidelity DESIGN.md documents):
+
+1. Elmore timing of the released nets gives downstream caps;
+2. each released net is re-assigned *independently* by the exact tree DP,
+   minimizing its **total** delay (sum over all its segments and vias —
+   *not* the worst path) plus the current Lagrangian prices;
+3. capacity prices are updated by projected subgradient on the observed
+   overflow; optionally a per-edge min-cost-flow pass legalizes residual
+   overflow (``engine="dp+flow"``);
+4. repeat; keep the best solution by total weighted delay.
+
+Because step 2 optimizes the weighted sum, a net's worst path can regress
+while its total improves — exactly the TILA weakness (Fig. 1) the paper's
+CPLA addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.analysis.runreport import IterationStats, RunReport
+from repro.ispd.benchmark import Benchmark
+from repro.route.net import Net
+from repro.route.occupancy import commit_net, release_net
+from repro.timing.critical import (
+    CriticalitySelector,
+    critical_path_stats,
+    pin_delay_distribution,
+)
+from repro.timing.elmore import ElmoreEngine, NetTiming, TimingConfig
+from repro.tila.flow import legalize_with_flow
+from repro.tila.lagrangian import MultiplierState
+from repro.tila.treedp import tree_dp_assign
+from repro.utils import get_logger
+
+log = get_logger(__name__)
+
+
+@dataclass
+class TILAConfig:
+    """Knobs of the baseline."""
+
+    critical_ratio: float = 0.005
+    max_iterations: int = 6
+    engine: str = "dp"  # "dp" or "dp+flow"
+    initial_multiplier: float = 0.0
+    multiplier_step: float = 1.0
+    price_scale_factor: float = 0.02
+    patience: int = 2  # stop after this many non-improving iterations
+    hard_capacity: bool = True  # forbid full (edge, layer) tracks in the DP
+    via_model: str = "linearized"  # "linearized" (faithful) or "exact-dp"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("dp", "dp+flow"):
+            raise ValueError(f"unknown TILA engine {self.engine!r}")
+        if self.via_model not in ("linearized", "exact-dp"):
+            raise ValueError(f"unknown via_model {self.via_model!r}")
+        if not 0 < self.critical_ratio <= 1:
+            raise ValueError("critical_ratio must be a fraction in (0, 1]")
+
+
+class TILAEngine:
+    """Runs the weighted-sum-delay baseline on a routed, assigned benchmark."""
+
+    def __init__(
+        self,
+        benchmark: Benchmark,
+        config: Optional[TILAConfig] = None,
+        timing_config: Optional[TimingConfig] = None,
+    ) -> None:
+        self.bench = benchmark
+        self.grid = benchmark.grid
+        self.config = config or TILAConfig()
+        self.elmore = ElmoreEngine(benchmark.stack, timing_config)
+        self.selector = CriticalitySelector(self.elmore)
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self) -> RunReport:
+        cfg = self.config
+        report = RunReport(
+            benchmark=self.bench.name,
+            method="tila" if cfg.engine == "dp" else "tila+flow",
+            critical_ratio=cfg.critical_ratio,
+        )
+        clock = report.clock
+
+        with clock.phase("timing"):
+            critical, timings = self.selector.select(self.bench.nets, cfg.critical_ratio)
+        report.critical_net_ids = [n.id for n in critical]
+        report.initial_avg_tcp, report.initial_max_tcp = critical_path_stats(
+            timings, critical
+        )
+        report.initial_pin_delays = pin_delay_distribution(timings, critical)
+        report.initial_via_overflow = self.grid.total_via_overflow()
+        report.initial_vias = self.grid.total_vias()
+
+        multipliers = MultiplierState(
+            initial=cfg.initial_multiplier, step=cfg.multiplier_step
+        )
+        best_layers = self._snapshot_layers(critical)
+        best_total = self._total_delay(critical)
+        stall = 0
+
+        for it in range(cfg.max_iterations):
+            with clock.phase("timing"):
+                net_timings = self.elmore.analyze_all(critical)
+
+            with clock.phase("assign"):
+                for net in critical:
+                    self._assign_net(net, net_timings[net.id], multipliers)
+
+            if cfg.engine == "dp+flow":
+                with clock.phase("flow"):
+                    legalize_with_flow(
+                        self.grid, self.elmore, critical, net_timings, multipliers
+                    )
+
+            with clock.phase("prices"):
+                scale = cfg.price_scale_factor * self._delay_scale(net_timings)
+                multipliers.update_from_grid(self.grid, scale)
+
+            with clock.phase("timing"):
+                total = self._total_delay(critical)
+                avg, mx = critical_path_stats(
+                    self.elmore.analyze_all(critical), critical
+                )
+            improved = total < best_total * (1 - 1e-9)
+            report.iterations.append(
+                IterationStats(
+                    index=it,
+                    num_partitions=0,
+                    num_segments=sum(len(n.topology.segments) for n in critical),
+                    avg_tcp=avg,
+                    max_tcp=mx,
+                    accepted=improved,
+                )
+            )
+            if improved:
+                best_total = total
+                best_layers = self._snapshot_layers(critical)
+                stall = 0
+            else:
+                stall += 1
+                if stall >= cfg.patience:
+                    break
+
+        with clock.phase("rollback"):
+            self._restore_layers(critical, best_layers)
+
+        with clock.phase("timing"):
+            final_timings = self.elmore.analyze_all(critical)
+        report.final_avg_tcp, report.final_max_tcp = critical_path_stats(
+            final_timings, critical
+        )
+        report.final_pin_delays = pin_delay_distribution(final_timings, critical)
+        report.final_via_overflow = self.grid.total_via_overflow()
+        report.final_vias = self.grid.total_vias()
+        log.info(
+            "%s/TILA: Avg(Tcp) %.1f -> %.1f (%.1f%%), Max(Tcp) %.1f -> %.1f, %.2fs",
+            self.bench.name,
+            report.initial_avg_tcp, report.final_avg_tcp,
+            100 * report.avg_improvement,
+            report.initial_max_tcp, report.final_max_tcp,
+            report.runtime,
+        )
+        return report
+
+    # -- per-net subproblem -------------------------------------------------------
+
+    def _assign_net(
+        self, net: Net, timing: NetTiming, multipliers: MultiplierState
+    ) -> None:
+        topo = net.topology
+        if topo is None or not topo.segments:
+            return
+        release_net(self.grid, topo)
+        cd = timing.downstream_caps
+        engine = self.elmore
+        source = net.source
+
+        hard = 1e18 if self.config.hard_capacity else 0.0
+        linearized = self.config.via_model == "linearized"
+        # Frozen previous-iteration layers: the flow engine of the original
+        # TILA cannot carry products x_ij * x_pq, so via costs are linearized
+        # against the neighbour's last layer (the paper's criticism (3)).
+        frozen = {seg.id: seg.layer for seg in topo.segments}
+
+        def seg_cost(seg, layer: int) -> float:
+            # Lagrangian pricing handles *soft* contention (initial-value
+            # sensitive, as the paper criticizes); full tracks are barred
+            # outright, like the capacitated flow network of the original.
+            cost = engine.segment_delay(seg, cd.get(seg.id, 0.0), layer=layer)
+            for edge in seg.edges():
+                cost += multipliers.wire_price(edge, layer)
+                if hard and self.grid.remaining(edge, layer) <= 0:
+                    cost += hard
+            tile = topo.child_tile[seg.id]
+            for pin in topo.pins_at.get(tile, []):
+                if pin == source and tile == topo.root_tile:
+                    continue
+                cost += engine.stack.via_resistance_between(layer, pin.layer) * pin.capacitance
+                cost += multipliers.via_span_price(tile, min(layer, pin.layer), max(layer, pin.layer))
+            if linearized:
+                parent = topo.parent[seg.id]
+                if parent is not None:
+                    cost += _junction(parent, seg.id, frozen[parent], layer)
+            return cost
+
+        def _junction(parent_sid: int, child_sid: int, lp: int, lc: int) -> float:
+            tile = topo.parent_tile[child_sid]
+            cost = engine.via_delay(lp, lc, cd.get(parent_sid, 0.0), cd.get(child_sid, 0.0))
+            cost += multipliers.via_span_price(tile, min(lp, lc), max(lp, lc))
+            return cost
+
+        if linearized:
+            def junction_cost(parent_sid: int, child_sid: int, lp: int, lc: int) -> float:
+                return 0.0
+        else:
+            junction_cost = _junction
+
+        def root_cost(root_sid: int, layer: int) -> float:
+            cd_r = cd.get(root_sid, 0.0)
+            cost = engine.via_delay(source.layer, layer, cd_r, cd_r)
+            cost += multipliers.via_span_price(
+                topo.root_tile, min(source.layer, layer), max(source.layer, layer)
+            )
+            return cost
+
+        layers, _ = tree_dp_assign(topo, engine.stack, seg_cost, junction_cost, root_cost)
+        for sid, layer in layers.items():
+            topo.segments[sid].layer = layer
+        commit_net(self.grid, topo)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _total_delay(self, critical: Sequence[Net]) -> float:
+        """TILA's objective: the summed segment delays of the released nets."""
+        total = 0.0
+        for net in critical:
+            timing = self.elmore.analyze(net)
+            total += sum(timing.segment_delays.values())
+        return total
+
+    @staticmethod
+    def _delay_scale(timings: Dict[int, NetTiming]) -> float:
+        delays = [d for t in timings.values() for d in t.segment_delays.values()]
+        if not delays:
+            return 1.0
+        return sum(delays) / len(delays)
+
+    @staticmethod
+    def _snapshot_layers(critical: Sequence[Net]) -> Dict[Tuple[int, int], int]:
+        return {
+            (net.id, seg.id): seg.layer
+            for net in critical
+            for seg in net.topology.segments
+        }
+
+    def _restore_layers(
+        self, critical: Sequence[Net], layers: Dict[Tuple[int, int], int]
+    ) -> None:
+        for net in critical:
+            current = {
+                (net.id, seg.id): seg.layer for seg in net.topology.segments
+            }
+            target = {k: layers[k] for k in current}
+            if current == target:
+                continue
+            release_net(self.grid, net.topology)
+            for seg in net.topology.segments:
+                seg.layer = layers[(net.id, seg.id)]
+            commit_net(self.grid, net.topology)

@@ -1,0 +1,174 @@
+"""Per-edge min-cost-flow legalization (TILA's flow engine).
+
+TILA's inner machinery is a min-cost-flow model; here it appears as the
+optional legalization pass of the baseline: for every overflowed 2-D edge
+carrying critical segments, a transportation problem redistributes those
+segments across the edge's layers —
+
+    source --(1)--> segment --(delay delta + prices)--> layer --(cap)--> sink
+
+— which simultaneously respects the edge capacity per layer and minimizes
+the delay perturbation.  Multi-G-cell segments are charged a congestion
+cost for the *other* edges they cross so a fix here does not create
+overflow there.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.grid.graph import Edge2D, GridGraph
+from repro.route.net import Net
+from repro.route.occupancy import commit_net, release_net
+from repro.solver.mcmf import MinCostFlow
+from repro.timing.elmore import ElmoreEngine, NetTiming
+from repro.tila.lagrangian import MultiplierState
+from repro.utils import get_logger
+
+log = get_logger(__name__)
+
+SegRef = Tuple[int, int]  # (net_id, segment_id)
+
+
+def overflowed_edges_with_critical(
+    grid: GridGraph, critical: Sequence[Net]
+) -> Dict[Edge2D, List[SegRef]]:
+    """Overflowed (edge) -> critical segments crossing it (any layer)."""
+    seg_edges: Dict[Edge2D, List[SegRef]] = {}
+    for net in critical:
+        topo = net.topology
+        if topo is None:
+            continue
+        for seg in topo.segments:
+            for edge in seg.edges():
+                seg_edges.setdefault(edge, []).append((net.id, seg.id))
+
+    result: Dict[Edge2D, List[SegRef]] = {}
+    for edge, refs in seg_edges.items():
+        for layer in grid.layers_for_edge(edge):
+            if grid.remaining(edge, layer) < 0:
+                result[edge] = refs
+                break
+    return result
+
+
+def flow_reassign_edge(
+    grid: GridGraph,
+    engine: ElmoreEngine,
+    nets_by_id: Dict[int, Net],
+    timings: Dict[int, NetTiming],
+    edge: Edge2D,
+    refs: Sequence[SegRef],
+    multipliers: MultiplierState,
+    congestion_cost: float,
+) -> Dict[SegRef, int]:
+    """Solve the transportation problem for one edge.
+
+    Returns the new layer per segment (complete mapping, including
+    unchanged ones).  Does not mutate anything.
+    """
+    layers = grid.layers_for_edge(edge)
+    num_segs = len(refs)
+    # Node ids: 0 = source, 1..S = segments, S+1..S+L = layers, last = sink.
+    src = 0
+    sink = 1 + num_segs + len(layers)
+    flow = MinCostFlow(sink + 1)
+
+    for s in range(num_segs):
+        flow.add_edge(src, 1 + s, 1, 0.0)
+
+    layer_node = {l: 1 + num_segs + k for k, l in enumerate(layers)}
+    for k, layer in enumerate(layers):
+        # These segments' own wires are still committed; capacity seen by the
+        # flow must give them back.
+        occupying = sum(
+            1
+            for (nid, sid) in refs
+            if nets_by_id[nid].topology.segments[sid].layer == layer
+        )
+        cap = max(grid.remaining(edge, layer), -occupying) + occupying
+        flow.add_edge(layer_node[layer], sink, max(cap, 0), 0.0)
+
+    arc_of: Dict[Tuple[int, int], int] = {}
+    for s, (nid, sid) in enumerate(refs):
+        net = nets_by_id[nid]
+        topo = net.topology
+        seg = topo.segments[sid]
+        cd = timings[nid].downstream_caps.get(sid, 0.0)
+        for layer in layers:
+            cost = engine.segment_delay(seg, cd, layer=layer)
+            cost += _via_delta(engine, topo, timings[nid], sid, layer)
+            for other in seg.edges():
+                cost += multipliers.wire_price(other, layer)
+                if other != edge and grid.remaining(other, layer) <= (
+                    1 if seg.layer == layer else 0
+                ):
+                    cost += congestion_cost
+            arc_of[(s, layer)] = flow.add_edge(1 + s, layer_node[layer], 1, cost)
+
+    pushed, _ = flow.min_cost_flow(src, sink)
+    assignment: Dict[SegRef, int] = {}
+    for s, ref in enumerate(refs):
+        chosen = None
+        for layer in layers:
+            if flow.flow_on(arc_of[(s, layer)]) > 0.5:
+                chosen = layer
+                break
+        if chosen is None:
+            # Capacity exhausted: keep the current layer.
+            nid, sid = ref
+            chosen = nets_by_id[nid].topology.segments[sid].layer
+        assignment[ref] = chosen
+    if pushed < num_segs:
+        log.debug("edge %s: flow placed %d of %d segments", edge, int(pushed), num_segs)
+    return assignment
+
+
+def _via_delta(
+    engine: ElmoreEngine, topo, timing: NetTiming, sid: int, layer: int
+) -> float:
+    """Via delay of segment ``sid`` at ``layer`` against fixed neighbours."""
+    cd = timing.downstream_caps
+    cost = 0.0
+    parent = topo.parent[sid]
+    if parent is not None:
+        cost += engine.via_delay(
+            topo.segments[parent].layer, layer, cd.get(parent, 0.0), cd.get(sid, 0.0)
+        )
+    for cid in topo.children[sid]:
+        cost += engine.via_delay(
+            layer, topo.segments[cid].layer, cd.get(sid, 0.0), cd.get(cid, 0.0)
+        )
+    return cost
+
+
+def legalize_with_flow(
+    grid: GridGraph,
+    engine: ElmoreEngine,
+    critical: Sequence[Net],
+    timings: Dict[int, NetTiming],
+    multipliers: MultiplierState,
+    congestion_cost: float = 1e6,
+) -> int:
+    """Run the per-edge flow on every overflowed edge; returns #changes."""
+    nets_by_id = {n.id: n for n in critical}
+    targets = overflowed_edges_with_critical(grid, critical)
+    changes: Dict[int, Dict[int, int]] = {}
+    for edge in sorted(targets):
+        assignment = flow_reassign_edge(
+            grid, engine, nets_by_id, timings, edge, targets[edge],
+            multipliers, congestion_cost,
+        )
+        for (nid, sid), layer in assignment.items():
+            if nets_by_id[nid].topology.segments[sid].layer != layer:
+                changes.setdefault(nid, {})[sid] = layer
+
+    total = 0
+    for nid, seg_layers in changes.items():
+        net = nets_by_id[nid]
+        release_net(grid, net.topology)
+        for sid, layer in seg_layers.items():
+            net.topology.segments[sid].layer = layer
+            total += 1
+        commit_net(grid, net.topology)
+    return total

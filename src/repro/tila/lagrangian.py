@@ -1,0 +1,83 @@
+"""Lagrangian multiplier state for the TILA baseline.
+
+Capacity constraints are dualized: each (edge, layer) and each (tile, cut)
+carries a non-negative price that is added to the assignment costs, and is
+updated by projected subgradient steps on the observed overflow:
+
+    mu <- max(0, mu + step * (usage - capacity))
+
+The paper criticizes TILA for its sensitivity to the *initial* multiplier
+values; ``initial_multiplier`` seeds every price and is ablated in
+``benchmarks/bench_ablation.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.grid.graph import Edge2D, GridGraph, Tile
+
+
+@dataclass
+class MultiplierState:
+    """Prices on wire tracks and via cuts."""
+
+    initial: float = 0.0
+    step: float = 1.0
+    wire: Dict[Tuple[Edge2D, int], float] = field(default_factory=dict)
+    via: Dict[Tuple[Tile, int], float] = field(default_factory=dict)
+
+    def wire_price(self, edge: Edge2D, layer: int) -> float:
+        return self.wire.get((edge, layer), self.initial)
+
+    def via_price(self, tile: Tile, cut: int) -> float:
+        return self.via.get((tile, cut), self.initial)
+
+    def via_span_price(self, tile: Tile, lower: int, upper: int) -> float:
+        if lower > upper:
+            lower, upper = upper, lower
+        return sum(self.via_price(tile, cut) for cut in range(lower, upper))
+
+    # -- subgradient update --------------------------------------------------
+
+    def update_from_grid(self, grid: GridGraph, scale: float) -> float:
+        """One projected subgradient step against current grid usage.
+
+        ``scale`` converts overflow counts into delay-comparable prices
+        (TILA ties it to the average segment delay).  Returns the total
+        wire overflow observed, a convergence signal for the caller.
+        """
+        total_overflow = 0
+        for layer in grid.stack:
+            orient = "H" if layer.direction.value == "H" else "V"
+            for edge in grid.iter_edges(orient):
+                over = -grid.remaining(edge, layer.index)
+                key = (edge, layer.index)
+                if over > 0:
+                    total_overflow += over
+                    self.wire[key] = max(
+                        0.0, self.wire_price(edge, layer.index) + self.step * scale * over
+                    )
+                elif key in self.wire or self.initial > 0.0:
+                    # Decay prices where slack reappeared.
+                    self.wire[key] = max(
+                        0.0,
+                        self.wire_price(edge, layer.index) + self.step * scale * over * 0.5,
+                    )
+        for tile in grid.iter_tiles():
+            for cut in range(1, grid.stack.num_layers):
+                used = grid.via_usage_at(tile, cut)
+                if used == 0 and (tile, cut) not in self.via and self.initial == 0.0:
+                    continue
+                over = used - grid.via_capacity(tile, cut)
+                key = (tile, cut)
+                if over > 0:
+                    self.via[key] = max(
+                        0.0, self.via_price(tile, cut) + self.step * scale * over
+                    )
+                elif key in self.via or self.initial > 0.0:
+                    self.via[key] = max(
+                        0.0, self.via_price(tile, cut) + self.step * scale * over * 0.5
+                    )
+        return float(total_overflow)

@@ -1,0 +1,71 @@
+"""Exact dynamic program over one net's segment tree.
+
+Given per-segment layer costs and pairwise junction (via) costs, computes
+the jointly optimal layer per segment in ``O(#segments * L^2)``.  This is
+the per-net subproblem both TILA iterations and ablation studies solve; it
+is exact for tree topologies because junction costs couple only
+parent/child pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.grid.layers import LayerStack
+from repro.route.net import Segment
+from repro.route.tree import NetTopology
+
+SegCost = Callable[[Segment, int], float]
+JunctionCost = Callable[[int, int, int, int], float]  # (parent_sid, child_sid, lp, lc)
+RootCost = Callable[[int, int], float]  # (root_sid, layer)
+
+
+def tree_dp_assign(
+    topo: NetTopology,
+    stack: LayerStack,
+    seg_cost: SegCost,
+    junction_cost: JunctionCost,
+    root_cost: RootCost,
+) -> Tuple[Dict[int, int], float]:
+    """Optimal layer per segment id, plus the optimal total cost."""
+    candidates: Dict[int, Tuple[int, ...]] = {
+        seg.id: stack.layers_of(seg.direction) for seg in topo.segments
+    }
+    dp: Dict[int, Dict[int, float]] = {}
+    choice: Dict[Tuple[int, int, int], int] = {}
+
+    for sid in topo.reverse_topo_order():
+        seg = topo.segments[sid]
+        dp[sid] = {}
+        for layer in candidates[sid]:
+            total = seg_cost(seg, layer)
+            for cid in topo.children[sid]:
+                best_cost = None
+                best_layer = None
+                for child_layer in candidates[cid]:
+                    c = dp[cid][child_layer] + junction_cost(sid, cid, layer, child_layer)
+                    if best_cost is None or c < best_cost:
+                        best_cost, best_layer = c, child_layer
+                assert best_cost is not None and best_layer is not None
+                total += best_cost
+                choice[(sid, layer, cid)] = best_layer
+            dp[sid][layer] = total
+
+    layers: Dict[int, int] = {}
+    total_cost = 0.0
+    stack_frames: List[int] = []
+    for rid in topo.root_segments():
+        best_layer = min(
+            candidates[rid], key=lambda l: dp[rid][l] + root_cost(rid, l)
+        )
+        layers[rid] = best_layer
+        total_cost += dp[rid][best_layer] + root_cost(rid, best_layer)
+        stack_frames.append(rid)
+
+    while stack_frames:
+        sid = stack_frames.pop()
+        layer = layers[sid]
+        for cid in topo.children[sid]:
+            layers[cid] = choice[(sid, layer, cid)]
+            stack_frames.append(cid)
+    return layers, total_cost

@@ -1,0 +1,28 @@
+"""Elmore-delay timing engine (Section 2.2 of the paper).
+
+- :mod:`repro.timing.rc` — industrial-style per-layer RC tables (higher
+  layers wider/less resistive, as in the paper's Oracle settings).
+- :mod:`repro.timing.elmore` — segment delay (Eqn. 2), via delay (Eqn. 3),
+  bottom-up downstream capacitances, per-sink path delays.
+- :mod:`repro.timing.critical` — per-net critical path ``Tcp``, release of
+  the top ``ratio`` critical nets, and pin-delay distributions (Fig. 1).
+"""
+
+from repro.timing.rc import industrial_rc, RCProfile
+from repro.timing.elmore import ElmoreEngine, NetTiming, TimingConfig
+from repro.timing.critical import (
+    CriticalitySelector,
+    critical_path_stats,
+    pin_delay_distribution,
+)
+
+__all__ = [
+    "industrial_rc",
+    "RCProfile",
+    "ElmoreEngine",
+    "NetTiming",
+    "TimingConfig",
+    "CriticalitySelector",
+    "critical_path_stats",
+    "pin_delay_distribution",
+]

@@ -1,0 +1,95 @@
+"""Timing-budget utilities.
+
+The paper releases a fixed *ratio* of the most critical nets; production
+flows more often release by *violation*: every net whose worst path exceeds
+its required time.  This module provides both views over the same Elmore
+engine, plus slack bookkeeping:
+
+- :func:`net_slacks` — required time minus worst arrival, per net;
+- :func:`select_by_budget` — the violating nets, worst first;
+- :class:`BudgetPolicy` — turns a budget into the ``critical_ratio`` the
+  engines consume, with a floor so the optimizer always has work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple, Union
+
+from repro.route.net import Net
+from repro.timing.elmore import ElmoreEngine
+
+BudgetLike = Union[float, Callable[[Net], float]]
+
+
+def _required_time(budget: BudgetLike, net: Net) -> float:
+    if callable(budget):
+        return float(budget(net))
+    return float(budget)
+
+
+def net_slacks(
+    engine: ElmoreEngine, nets: Sequence[Net], budget: BudgetLike
+) -> Dict[int, float]:
+    """Slack per net id: ``required - Tcp`` (negative = violating).
+
+    ``budget`` is either one required time for every net or a callable
+    mapping a net to its own required time (e.g. per clock group).
+    Local nets with no sinks are skipped.
+    """
+    slacks: Dict[int, float] = {}
+    for net in nets:
+        timing = engine.analyze(net)
+        if not timing.sink_delays:
+            continue
+        slacks[net.id] = _required_time(budget, net) - timing.critical_delay
+    return slacks
+
+
+def select_by_budget(
+    engine: ElmoreEngine, nets: Sequence[Net], budget: BudgetLike
+) -> List[Net]:
+    """Nets violating their budget, most negative slack first."""
+    slacks = net_slacks(engine, nets, budget)
+    violating = [n for n in nets if slacks.get(n.id, 0.0) < 0.0]
+    violating.sort(key=lambda n: (slacks[n.id], n.id))
+    return violating
+
+
+def total_negative_slack(
+    engine: ElmoreEngine, nets: Sequence[Net], budget: BudgetLike
+) -> float:
+    """TNS: the sum of negative slacks (a standard sign-off metric, <= 0)."""
+    slacks = net_slacks(engine, nets, budget)
+    return sum(s for s in slacks.values() if s < 0.0)
+
+
+@dataclass
+class BudgetPolicy:
+    """Converts a timing budget into an engine release ratio.
+
+    ``min_ratio``/``max_ratio`` bound the released fraction: too few nets
+    gives the optimizer nothing to trade, too many explodes runtime.
+    """
+
+    budget: BudgetLike
+    min_ratio: float = 0.002
+    max_ratio: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_ratio <= self.max_ratio <= 1:
+            raise ValueError("need 0 < min_ratio <= max_ratio <= 1")
+
+    def release_ratio(self, engine: ElmoreEngine, nets: Sequence[Net]) -> float:
+        violating = select_by_budget(engine, nets, self.budget)
+        if not nets:
+            return self.min_ratio
+        ratio = len(violating) / len(nets)
+        return min(max(ratio, self.min_ratio), self.max_ratio)
+
+    def summarize(
+        self, engine: ElmoreEngine, nets: Sequence[Net]
+    ) -> Tuple[int, float]:
+        """(violating net count, total negative slack)."""
+        violating = select_by_budget(engine, nets, self.budget)
+        return len(violating), total_negative_slack(engine, nets, self.budget)

@@ -1,0 +1,60 @@
+"""Critical-net selection and critical-path statistics.
+
+The paper "releases" a percentage of the most critical nets (0.5%–2.5% in
+the experiments); released nets are the ones whose segments the incremental
+optimizers may move.  Criticality of a net is its worst source→sink Elmore
+path delay ``Tcp`` under the current assignment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.route.net import Net
+from repro.timing.elmore import ElmoreEngine, NetTiming
+
+
+@dataclass
+class CriticalitySelector:
+    """Ranks nets by ``Tcp`` and releases the top fraction."""
+
+    engine: ElmoreEngine
+
+    def select(
+        self, nets: Sequence[Net], ratio: float
+    ) -> Tuple[List[Net], Dict[int, NetTiming]]:
+        """Return (released nets, timing of *all* nets).
+
+        ``ratio`` is a fraction (0.005 == the paper's "0.5%").  At least one
+        net is released whenever any net has sinks.
+        """
+        if not 0 < ratio <= 1:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        timings = self.engine.analyze_all(nets)
+        eligible = [n for n in nets if timings[n.id].sink_delays]
+        eligible.sort(key=lambda n: (-timings[n.id].critical_delay, n.id))
+        count = min(len(eligible), max(1, math.ceil(ratio * len(nets))))
+        return eligible[:count], timings
+
+
+def critical_path_stats(
+    timings: Dict[int, NetTiming], critical_nets: Iterable[Net]
+) -> Tuple[float, float]:
+    """``(Avg(Tcp), Max(Tcp))`` over the released nets — the two quality
+    columns of Table 2."""
+    delays = [timings[n.id].critical_delay for n in critical_nets]
+    if not delays:
+        return 0.0, 0.0
+    return sum(delays) / len(delays), max(delays)
+
+
+def pin_delay_distribution(
+    timings: Dict[int, NetTiming], critical_nets: Iterable[Net]
+) -> List[float]:
+    """All sink-pin path delays of the released nets (Fig. 1's population)."""
+    delays: List[float] = []
+    for net in critical_nets:
+        delays.extend(timings[net.id].sink_delays.values())
+    return delays

@@ -1,0 +1,83 @@
+"""Per-layer RC tables.
+
+The paper uses resistance/capacitance values "from industrial settings"
+(Oracle).  Those numbers are proprietary; what the experiments rely on is the
+*structure* stated in the introduction: higher metal layers are wider with
+lower resistance, lower layers are thinner with higher resistance, and via
+resistance is significant enough that gratuitous layer hopping hurts.
+
+:func:`industrial_rc` reproduces that structure.  Layers come in tiers of two
+(1x/2x/4x... width classes, as in contemporary BEOL stacks): resistance
+halves per tier while capacitance per unit length stays within a narrow band,
+slightly decreasing with height.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class RCProfile:
+    """Unit-length RC values per layer plus per-cut via resistance.
+
+    Units are arbitrary-but-consistent: resistances in ohms per G-cell pitch,
+    capacitances in femtofarads per G-cell pitch; delays come out in ohm*fF
+    units, matching the paper's reporting of dimensionless delay numbers.
+    """
+
+    unit_resistance: Tuple[float, ...]
+    unit_capacitance: Tuple[float, ...]
+    via_resistance: Tuple[float, ...]
+    via_capacitance: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.unit_resistance)
+        if n == 0:
+            raise ValueError("profile needs at least one layer")
+        if len(self.unit_capacitance) != n:
+            raise ValueError("R and C tables must have equal length")
+        if len(self.via_resistance) != n - 1 or len(self.via_capacitance) != n - 1:
+            raise ValueError("via tables must have length L-1")
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.unit_resistance)
+
+
+def industrial_rc(
+    num_layers: int,
+    *,
+    base_resistance: float = 8.0,
+    tier_shrink: float = 0.5,
+    base_capacitance: float = 1.0,
+    cap_tier_drift: float = -0.04,
+    via_cut_resistance: float = 4.0,
+    via_cut_capacitance: float = 0.0,
+) -> RCProfile:
+    """Build an :class:`RCProfile` with the industrial structure.
+
+    ``tier_shrink`` is the resistance multiplier applied per two-layer tier
+    (0.5 halves resistance per tier, the typical doubling of wire width).
+    ``cap_tier_drift`` nudges capacitance per tier; the default slight
+    decrease models taller-but-farther-from-substrate wiring.
+    """
+    if num_layers < 1:
+        raise ValueError("num_layers must be >= 1")
+    if not 0 < tier_shrink <= 1:
+        raise ValueError("tier_shrink must be in (0, 1]")
+    res = []
+    cap = []
+    for layer in range(1, num_layers + 1):
+        tier = (layer - 1) // 2
+        res.append(base_resistance * (tier_shrink**tier))
+        cap.append(max(base_capacitance + cap_tier_drift * tier, 0.1))
+    vias = [via_cut_resistance] * (num_layers - 1)
+    via_caps = [via_cut_capacitance] * (num_layers - 1)
+    return RCProfile(
+        unit_resistance=tuple(res),
+        unit_capacitance=tuple(cap),
+        via_resistance=tuple(vias),
+        via_capacitance=tuple(via_caps),
+    )

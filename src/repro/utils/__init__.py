@@ -1,0 +1,11 @@
+"""Shared utilities: logging, timing, and seeded randomness.
+
+These helpers are intentionally small and dependency-free; every other
+subpackage of :mod:`repro` may import them without creating cycles.
+"""
+
+from repro.utils.logging import get_logger
+from repro.utils.rng import make_rng
+from repro.utils.timer import Timer, WallClock
+
+__all__ = ["get_logger", "make_rng", "Timer", "WallClock"]

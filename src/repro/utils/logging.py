@@ -1,0 +1,39 @@
+"""Logging helpers.
+
+The library never configures the root logger; it only creates namespaced
+children under ``"repro"`` so applications control verbosity.  The CLI calls
+:func:`configure_cli_logging` to get human-readable output.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under the ``repro`` hierarchy.
+
+    ``get_logger("core.engine")`` returns the ``repro.core.engine`` logger.
+    Passing a name that already starts with ``repro`` keeps it unchanged, so
+    modules may simply pass ``__name__``.
+    """
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(_ROOT_NAME + "." + name)
+
+
+def configure_cli_logging(verbose: bool = False) -> None:
+    """Attach a stream handler with a compact format to the repro root logger.
+
+    Safe to call repeatedly; only one handler is installed.
+    """
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(logging.DEBUG if verbose else logging.INFO)
+    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("[%(levelname).1s %(name)s] %(message)s")
+        )
+        root.addHandler(handler)

@@ -1,0 +1,42 @@
+"""Deterministic random-number-generator construction.
+
+All stochastic components of the library (synthetic benchmark generation,
+router tie-breaking, test fixtures) derive their generators through
+:func:`make_rng` so that a single integer seed reproduces an entire run.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, str, None]
+
+
+def _normalize_seed(seed: SeedLike) -> Optional[int]:
+    """Map a seed-like value to a non-negative integer (or ``None``)."""
+    if seed is None:
+        return None
+    if isinstance(seed, int):
+        return seed & 0xFFFFFFFF
+    if isinstance(seed, str):
+        # Stable across processes and Python versions (unlike hash()).
+        return zlib.crc32(seed.encode("utf-8"))
+    raise TypeError(f"unsupported seed type: {type(seed).__name__}")
+
+
+def make_rng(seed: SeedLike = None, *streams: SeedLike) -> np.random.Generator:
+    """Create a :class:`numpy.random.Generator` from a seed plus sub-streams.
+
+    ``make_rng(7, "router", net_id)`` yields an independent stream per
+    (seed, component, item) triple, so adding randomness to one component
+    never perturbs another.
+    """
+    parts = [_normalize_seed(seed)]
+    parts.extend(_normalize_seed(s) for s in streams)
+    material = [p for p in parts if p is not None]
+    if not material:
+        return np.random.default_rng()
+    return np.random.default_rng(np.random.SeedSequence(material))

@@ -1,0 +1,88 @@
+"""Wall-clock timing helpers used by the experiment harness.
+
+The paper reports per-method CPU seconds; :class:`Timer` is the context
+manager used around every solver call, and :class:`WallClock` accumulates
+named phases for the run reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    500 < 500500
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class WallClock:
+    """Accumulate elapsed seconds into named phases.
+
+    >>> clock = WallClock()
+    >>> with clock.phase("solve"):
+    ...     pass
+    >>> "solve" in clock.totals
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+
+    def phase(self, name: str) -> "_Phase":
+        return _Phase(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.totals.values())
+
+    def report(self) -> str:
+        """Render phase totals as aligned text lines."""
+        if not self.totals:
+            return "(no phases recorded)"
+        width = max(len(k) for k in self.totals)
+        lines = [
+            f"{name:<{width}}  {seconds:8.3f}s"
+            for name, seconds in sorted(self.totals.items(), key=lambda kv: -kv[1])
+        ]
+        lines.append(f"{'total':<{width}}  {self.total:8.3f}s")
+        return "\n".join(lines)
+
+
+class _Phase:
+    def __init__(self, clock: WallClock, name: str) -> None:
+        self._clock = clock
+        self._name = name
+        self._timer = Timer()
+
+    def __enter__(self) -> Timer:
+        return self._timer.__enter__()
+
+    def __exit__(self, *exc_info) -> None:
+        self._timer.__exit__(*exc_info)
+        self._clock.add(self._name, self._timer.elapsed)

@@ -1,0 +1,82 @@
+"""Shared fixtures.
+
+Tests run on purpose-built tiny instances (not the evaluation-scale suite)
+so the whole suite stays fast; the benches exercise full scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.graph import GridGraph
+from repro.grid.layers import Direction, Layer, LayerStack
+from repro.ispd.synthetic import SyntheticSpec, generate
+from repro.pipeline import prepare
+from repro.timing.rc import industrial_rc
+
+
+def make_stack(
+    num_layers: int = 4,
+    tracks: int = 4,
+    via_r: float = 4.0,
+    first: Direction = Direction.HORIZONTAL,
+) -> LayerStack:
+    """A small uniform stack: R halves per tier, C constant, w = s = 1."""
+    rc = industrial_rc(num_layers, via_cut_resistance=via_r)
+    direction = first
+    layers = []
+    for i in range(num_layers):
+        layers.append(
+            Layer(
+                index=i + 1,
+                direction=direction,
+                unit_resistance=rc.unit_resistance[i],
+                unit_capacitance=rc.unit_capacitance[i],
+                min_width=1.0,
+                min_spacing=1.0,
+                default_capacity=tracks * 2.0,
+            )
+        )
+        direction = direction.other
+    return LayerStack(
+        layers=tuple(layers),
+        via_resistances=rc.via_resistance,
+        via_capacitances=rc.via_capacitance,
+        via_width=1.0,
+        via_spacing=1.0,
+        tile_width=10.0,
+        tile_height=10.0,
+    )
+
+
+@pytest.fixture
+def stack4() -> LayerStack:
+    return make_stack(4)
+
+
+@pytest.fixture
+def stack6() -> LayerStack:
+    return make_stack(6)
+
+
+@pytest.fixture
+def grid8(stack4) -> GridGraph:
+    return GridGraph(8, 8, stack4)
+
+
+def tiny_spec(name: str = "tiny", nets: int = 100, seed: int = 7) -> SyntheticSpec:
+    return SyntheticSpec(
+        name=name, nx=12, ny=12, num_layers=6, num_nets=nets, seed=seed
+    )
+
+
+@pytest.fixture
+def tiny_bench():
+    """A fresh unrouted tiny benchmark per test."""
+    return generate(tiny_spec())
+
+
+@pytest.fixture
+def prepared_bench():
+    """A fresh routed + initially-assigned tiny benchmark per test."""
+    return prepare(generate(tiny_spec()))

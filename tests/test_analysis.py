@@ -1,0 +1,132 @@
+"""Tests for metrics, histograms, tables, and run reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import delay_histogram, render_histogram, tail_mass
+from repro.analysis.metrics import (
+    MethodMetrics,
+    average_row,
+    collect_by_method,
+    ratio_row,
+)
+from repro.analysis.report import Table, density_map_text, render_table
+from repro.analysis.runreport import RunReport
+from repro.utils import WallClock
+
+
+def report(method="sdp", avg=100.0, mx=200.0, ov=50, vias=1000, secs=2.0):
+    r = RunReport(benchmark="b", method=method, critical_ratio=0.005)
+    r.initial_avg_tcp, r.final_avg_tcp = avg * 1.2, avg
+    r.initial_max_tcp, r.final_max_tcp = mx * 1.2, mx
+    r.final_via_overflow = ov
+    r.final_vias = vias
+    r.clock = WallClock()
+    r.clock.add("solve", secs)
+    return r
+
+
+class TestRunReport:
+    def test_improvements(self):
+        r = report()
+        assert r.avg_improvement == pytest.approx(1 - 1 / 1.2)
+        assert r.max_improvement == pytest.approx(1 - 1 / 1.2)
+        assert r.runtime == pytest.approx(2.0)
+
+    def test_zero_initial_guarded(self):
+        r = RunReport(benchmark="b", method="m", critical_ratio=0.005)
+        assert r.avg_improvement == 0.0
+
+
+class TestMetrics:
+    def test_from_report(self):
+        m = MethodMetrics.from_report(report())
+        assert (m.avg_tcp, m.max_tcp, m.via_overflow) == (100.0, 200.0, 50)
+
+    def test_average_row(self):
+        rows = [
+            MethodMetrics("a", "m", 10, 20, 2, 100, 1.0),
+            MethodMetrics("b", "m", 30, 40, 4, 300, 3.0),
+        ]
+        avg = average_row(rows, "m")
+        assert avg.avg_tcp == 20
+        assert avg.via_overflow == 3
+        assert avg.benchmark == "average"
+
+    def test_average_row_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_row([], "m")
+
+    def test_ratio_row(self):
+        ours = MethodMetrics("a", "sdp", 86, 96, 90, 100, 3.16)
+        base = MethodMetrics("a", "tila", 100, 100, 100, 100, 1.0)
+        r = ratio_row(ours, base)
+        assert r["avg_tcp"] == pytest.approx(0.86)
+        assert r["cpu_seconds"] == pytest.approx(3.16)
+
+    def test_collect_by_method(self):
+        reports = [report("tila"), report("sdp"), report("sdp")]
+        assert len(collect_by_method(reports, "sdp")) == 2
+        assert len(collect_by_method(reports)) == 3
+
+
+class TestHistogram:
+    def test_binning(self):
+        edges, counts = delay_histogram([1.0, 2.0, 3.0, 10.0], bins=3)
+        assert len(edges) == 4
+        assert counts.sum() == 4
+
+    def test_empty_input(self):
+        edges, counts = delay_histogram([], bins=5)
+        assert counts.sum() == 0
+
+    def test_render_contains_counts(self):
+        edges, counts = delay_histogram([1.0] * 8 + [5.0], bins=2)
+        text = render_histogram(edges, counts, title="t")
+        assert "t" in text
+        assert "8" in text
+
+    def test_tail_mass(self):
+        assert tail_mass([1.0, 5.0, 9.0], 4.0) == 2
+
+    def test_bins_validation(self):
+        with pytest.raises(ValueError):
+            delay_histogram([1.0], bins=0)
+
+
+class TestTables:
+    def test_render_aligns_columns(self):
+        text = render_table(["a", "bb"], [["x", 1], ["yy", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # rectangular
+
+    def test_table_add_row_validation(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_float_formatting(self):
+        t = Table(["v"])
+        t.add_row(3.14159)
+        assert "3.14" in t.render()
+
+    def test_csv_rendering(self):
+        t = Table(["name", "value"])
+        t.add_row("a,b", 1.5)
+        csv = t.render_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "name,value"
+        assert lines[1] == "a;b,1.5"
+
+    def test_density_map_shape(self):
+        dens = np.zeros((4, 3))
+        dens[1, 1] = 5.0
+        text = density_map_text(dens)
+        lines = text.splitlines()
+        assert len(lines) == 3  # one per y, top-down
+        assert len(lines[0]) == 4
+
+    def test_density_map_rejects_1d(self):
+        with pytest.raises(ValueError):
+            density_map_text(np.zeros(5))

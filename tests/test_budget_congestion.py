@@ -1,0 +1,119 @@
+"""Tests for timing-budget selection and congestion analytics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.congestion import (
+    congestion_stats,
+    gini_coefficient,
+    hotspots,
+)
+from repro.grid.graph import GridGraph, manhattan_path_edges
+from repro.route.net import Net, Pin
+from repro.route.tree import build_topology
+from repro.timing.budget import (
+    BudgetPolicy,
+    net_slacks,
+    select_by_budget,
+    total_negative_slack,
+)
+from repro.timing.elmore import ElmoreEngine
+
+from tests.conftest import make_stack
+
+
+def straight_net(nid, length):
+    net = Net(nid, f"n{nid}", [Pin(0, nid), Pin(length, nid, capacitance=1.0)])
+    net.route_edges = manhattan_path_edges([(x, nid) for x in range(length + 1)])
+    topo = build_topology(net)
+    topo.segments[0].layer = 1
+    return net
+
+
+class TestBudget:
+    def _setup(self):
+        stack = make_stack(4)
+        engine = ElmoreEngine(stack)
+        nets = [straight_net(i, 1 + 2 * i) for i in range(4)]
+        return engine, nets
+
+    def test_slacks_sign(self):
+        engine, nets = self._setup()
+        tcps = {n.id: engine.analyze(n).critical_delay for n in nets}
+        budget = (tcps[1] + tcps[2]) / 2  # between net 1 and net 2
+        slacks = net_slacks(engine, nets, budget)
+        assert slacks[0] > 0 and slacks[1] > 0
+        assert slacks[2] < 0 and slacks[3] < 0
+
+    def test_select_orders_worst_first(self):
+        engine, nets = self._setup()
+        budget = engine.analyze(nets[0]).critical_delay * 1.01
+        violating = select_by_budget(engine, nets, budget)
+        assert [n.id for n in violating] == [3, 2, 1]
+
+    def test_callable_budget(self):
+        engine, nets = self._setup()
+        # Everyone gets a generous personal budget except net 2.
+        def budget(net):
+            return 1.0 if net.id == 2 else 1e9
+
+        violating = select_by_budget(engine, nets, budget)
+        assert [n.id for n in violating] == [2]
+
+    def test_tns_nonpositive(self):
+        engine, nets = self._setup()
+        assert total_negative_slack(engine, nets, 0.0) < 0
+        assert total_negative_slack(engine, nets, 1e12) == 0.0
+
+    def test_policy_clamps_ratio(self):
+        engine, nets = self._setup()
+        tight = BudgetPolicy(budget=0.0, min_ratio=0.01, max_ratio=0.5)
+        assert tight.release_ratio(engine, nets) == 0.5
+        loose = BudgetPolicy(budget=1e12, min_ratio=0.01, max_ratio=0.5)
+        assert loose.release_ratio(engine, nets) == 0.01
+
+    def test_policy_summary(self):
+        engine, nets = self._setup()
+        count, tns = BudgetPolicy(budget=0.0).summarize(engine, nets)
+        assert count == 4 and tns < 0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BudgetPolicy(budget=1.0, min_ratio=0.5, max_ratio=0.1)
+
+
+class TestCongestion:
+    def test_gini_uniform_zero(self):
+        assert gini_coefficient(np.full(50, 0.4)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_concentrated_high(self):
+        values = np.zeros(100)
+        values[0] = 1.0
+        assert gini_coefficient(values) > 0.9
+
+    def test_gini_empty(self):
+        assert gini_coefficient(np.zeros(0)) == 0.0
+
+    def test_stats_on_empty_grid(self):
+        grid = GridGraph(6, 6, make_stack(4))
+        stats = congestion_stats(grid)
+        assert stats.mean_utilization == 0.0
+        assert stats.overflowed_edges == 0
+
+    def test_stats_detect_overflow(self):
+        grid = GridGraph(6, 6, make_stack(4, tracks=1))
+        for _ in range(3):
+            grid.add_wire(("H", 0, 0), 1)
+        stats = congestion_stats(grid)
+        assert stats.overflowed_edges == 1
+        assert stats.max_utilization == pytest.approx(3.0)
+        assert "gini" in stats.summary()
+
+    def test_hotspots_sorted(self):
+        grid = GridGraph(6, 6, make_stack(4, tracks=2))
+        grid.add_wire(("H", 0, 0), 1, count=2)
+        grid.add_wire(("H", 1, 1), 1, count=1)
+        spots = hotspots(grid, top=5)
+        assert spots[0][0] == ("H", 0, 0)
+        assert spots[0][2] == pytest.approx(1.0)
+        assert len(spots) == 2

@@ -1,0 +1,194 @@
+"""Tests for the Elmore timing engine, including hand-computed delays."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grid.graph import manhattan_path_edges
+from repro.route.net import Net, Pin
+from repro.route.tree import build_topology
+from repro.timing.elmore import ElmoreEngine, TimingConfig
+
+from tests.conftest import make_stack
+
+
+def simple_net(pins, path_tiles, layers):
+    net = Net(0, "t", pins)
+    net.route_edges = manhattan_path_edges(path_tiles)
+    topo = build_topology(net)
+    for sid, layer in layers.items():
+        topo.segments[sid].layer = layer
+    return net
+
+
+class TestSegmentDelay:
+    def test_eqn2_by_hand(self, stack4):
+        """ts = Re * (Ce/2 + Cd) with length-scaled R and C."""
+        engine = ElmoreEngine(stack4)
+        net = simple_net([Pin(0, 0, 1, capacitance=2.0), Pin(3, 0, 1, capacitance=5.0)],
+                         [(0, 0), (1, 0), (2, 0), (3, 0)], {0: 1})
+        timing = engine.analyze(net)
+        l1 = stack4.layer(1)
+        r = l1.unit_resistance * 3
+        c = l1.unit_capacitance * 3
+        # Downstream of the single segment: the sink pin capacitance.
+        expected_ts = r * (c / 2 + 5.0)
+        assert timing.segment_delays[0] == pytest.approx(expected_ts)
+        # Sink delay: segment delay (pin on layer 1, same layer -> no via R).
+        assert timing.sink_delays[net.pins[1]] == pytest.approx(expected_ts)
+
+    def test_higher_layer_is_faster(self, stack4):
+        engine = ElmoreEngine(stack4)
+        delays = {}
+        for layer in (1, 3):
+            net = simple_net([Pin(0, 0), Pin(3, 0, capacitance=5.0)],
+                             [(0, 0), (1, 0), (2, 0), (3, 0)], {0: layer})
+            delays[layer] = engine.analyze(net).segment_delays[0]
+        assert delays[3] < delays[1]
+
+    def test_delay_scales_with_length(self, stack4):
+        engine = ElmoreEngine(stack4)
+        short = simple_net([Pin(0, 0), Pin(1, 0)], [(0, 0), (1, 0)], {0: 1})
+        long = simple_net([Pin(0, 0), Pin(5, 0)],
+                          [(i, 0) for i in range(6)], {0: 1})
+        assert (
+            engine.analyze(long).segment_delays[0]
+            > engine.analyze(short).segment_delays[0]
+        )
+
+
+class TestViaDelay:
+    def test_eqn3_by_hand(self, stack4):
+        """Via delay = sum of cut resistances * min(Cd parent, Cd child)."""
+        engine = ElmoreEngine(stack4)
+        # L-shape: H segment on layer 1, V segment on layer 4.
+        net = simple_net(
+            [Pin(0, 0, 1), Pin(2, 2, 4, capacitance=3.0)],
+            [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)],
+            {},
+        )
+        topo = net.topology
+        h = next(s for s in topo.segments if s.axis == "H")
+        v = next(s for s in topo.segments if s.axis == "V")
+        h.layer, v.layer = 1, 4
+        timing = engine.analyze(net)
+        cd_child = timing.downstream_caps[v.id]
+        assert cd_child == pytest.approx(3.0)  # just the sink pin
+        rv = stack4.via_resistance_between(1, 4)
+        expected_via = rv * min(timing.downstream_caps[h.id], cd_child)
+        path_delay = (
+            timing.segment_delays[h.id] + expected_via + timing.segment_delays[v.id]
+        )
+        # Sink pin is on layer 4 == segment layer: no pin via.
+        assert timing.sink_delays[net.pins[1]] == pytest.approx(path_delay)
+
+    def test_via_load_modes_differ(self, stack4):
+        paper = ElmoreEngine(stack4, TimingConfig(via_load="paper"))
+        subtree = ElmoreEngine(stack4, TimingConfig(via_load="subtree"))
+        a = paper.via_delay(1, 3, cd_parent=10.0, cd_child=4.0)
+        b = subtree.via_delay(1, 3, cd_parent=10.0, cd_child=4.0)
+        assert a == pytest.approx(b)  # min(10,4) == child here
+        a2 = paper.via_delay(1, 3, cd_parent=2.0, cd_child=4.0)
+        assert a2 == pytest.approx(stack4.via_resistance_between(1, 3) * 2.0)
+
+    def test_pin_via_stack_delay(self, stack4):
+        engine = ElmoreEngine(stack4)
+        net = simple_net(
+            [Pin(0, 0, 1), Pin(2, 0, 1, capacitance=4.0)],
+            [(0, 0), (1, 0), (2, 0)],
+            {0: 3},
+        )
+        timing = engine.analyze(net)
+        rv = stack4.via_resistance_between(3, 1)
+        # The path pays the source-side via stack (pin layer 1 up to the
+        # segment on layer 3) and the sink-side stack back down.
+        cd = timing.downstream_caps[0]
+        root_via = rv * cd
+        assert timing.sink_delays[net.pins[1]] == pytest.approx(
+            root_via + timing.segment_delays[0] + rv * 4.0
+        )
+
+
+class TestDownstreamCaps:
+    def test_branch_caps_accumulate(self, stack6):
+        engine = ElmoreEngine(stack6)
+        # Trunk with a branch: downstream cap of the trunk's first piece
+        # includes both the branch and the tail subtrees.
+        edges = manhattan_path_edges([(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)])
+        edges += manhattan_path_edges([(2, 0), (2, 1), (2, 2)])
+        net = Net(0, "b", [Pin(0, 0), Pin(4, 0, capacitance=2.0), Pin(2, 2, capacitance=3.0)])
+        net.route_edges = edges
+        topo = build_topology(net)
+        for seg in topo.segments:
+            seg.layer = 1 if seg.axis == "H" else 2
+        cd, subtree = engine.downstream_caps(net)
+        first = next(
+            s.id for s in topo.segments if topo.parent_tile[s.id] == (0, 0)
+        )
+        children = topo.children[first]
+        assert len(children) == 2
+        expected = sum(subtree[c] for c in children)
+        assert cd[first] == pytest.approx(expected)
+
+    def test_local_net_timing(self, stack4):
+        engine = ElmoreEngine(stack4)
+        net = Net(0, "l", [Pin(1, 1, 1), Pin(1, 1, 3, capacitance=2.0)])
+        net.route_edges = []
+        build_topology(net)
+        timing = engine.analyze(net)
+        rv = stack4.via_resistance_between(1, 3)
+        assert timing.sink_delays[net.pins[1]] == pytest.approx(rv * 2.0)
+
+    def test_unassigned_net_rejected(self, stack4):
+        engine = ElmoreEngine(stack4)
+        net = simple_net([Pin(0, 0), Pin(1, 0)], [(0, 0), (1, 0)], {})
+        with pytest.raises(ValueError):
+            engine.analyze(net)
+
+    def test_driver_resistance_adds_uniform_delay(self, stack4):
+        net = simple_net([Pin(0, 0), Pin(2, 0, capacitance=1.0)],
+                         [(0, 0), (1, 0), (2, 0)], {0: 1})
+        base = ElmoreEngine(stack4).analyze(net)
+        driven = ElmoreEngine(stack4, TimingConfig(driver_resistance=10.0)).analyze(net)
+        sink = net.pins[1]
+        delta = driven.sink_delays[sink] - base.sink_delays[sink]
+        assert delta == pytest.approx(10.0 * driven.total_capacitance)
+
+
+class TestCriticalPath:
+    def test_critical_sink_is_argmax(self, stack6):
+        engine = ElmoreEngine(stack6)
+        edges = manhattan_path_edges([(0, 0), (1, 0), (2, 0)])
+        edges += manhattan_path_edges([(0, 0), (0, 1)])
+        near = Pin(0, 1, capacitance=0.1)
+        far = Pin(2, 0, capacitance=9.0)
+        net = Net(0, "c", [Pin(0, 0), near, far])
+        net.route_edges = edges
+        topo = build_topology(net)
+        for seg in topo.segments:
+            seg.layer = 1 if seg.axis == "H" else 2
+        timing = engine.analyze(net)
+        assert timing.critical_sink == far
+        assert timing.critical_delay == pytest.approx(timing.sink_delays[far])
+        path = timing.critical_path_segments(topo)
+        tiles = set()
+        for sid in path:
+            tiles.update(topo.segments[sid].tiles())
+        assert far.tile in tiles
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    cd=st.floats(0.1, 100.0),
+    length=st.integers(1, 10),
+    layer=st.sampled_from([1, 3]),
+)
+def test_segment_delay_positive_and_monotone_in_cd(cd, length, layer):
+    stack = make_stack(4)
+    engine = ElmoreEngine(stack)
+    from repro.route.net import Segment
+
+    seg = Segment(0, 0, "H", 0, 0, length, 0, layer=layer)
+    d1 = engine.segment_delay(seg, cd)
+    d2 = engine.segment_delay(seg, cd + 1.0)
+    assert d1 > 0
+    assert d2 > d1

@@ -1,0 +1,136 @@
+"""Tests for the CPLA engine's phase machinery: criticality weights,
+track reservation, max phase, and final state selection."""
+
+import pytest
+
+from repro.core.engine import CPLAConfig, CPLAEngine
+from repro.core.mapping import CapacityLedger
+from repro.core.sdp_relaxation import SdpRelaxationConfig
+from repro.ispd.synthetic import generate
+from repro.pipeline import prepare
+from repro.solver.sdp import SDPSettings
+from repro.timing.critical import CriticalitySelector
+
+from tests.conftest import tiny_spec
+
+
+def fast_cfg(**kwargs) -> CPLAConfig:
+    defaults = dict(
+        method="sdp",
+        critical_ratio=0.05,
+        max_iterations=2,
+        max_phase_iterations=1,
+        sdp=SdpRelaxationConfig(
+            settings=SDPSettings(tolerance=5e-4, max_iterations=400)
+        ),
+    )
+    defaults.update(kwargs)
+    return CPLAConfig(**defaults)
+
+
+class TestCriticalityWeights:
+    def _engine_and_critical(self):
+        bench = prepare(generate(tiny_spec()))
+        engine = CPLAEngine(bench, fast_cfg())
+        critical, timings = engine.selector.select(bench.nets, 0.05)
+        return engine, critical, timings
+
+    def test_worst_net_gets_unit_weight(self):
+        engine, critical, timings = self._engine_and_critical()
+        weights = engine._criticality_weights(critical, timings)
+        worst = max(critical, key=lambda n: timings[n.id].critical_delay)
+        on_path = set(
+            timings[worst.id].critical_path_segments(worst.topology)
+        )
+        path_weights = [
+            weights[(worst.id, sid)] for sid in on_path if (worst.id, sid) in weights
+        ]
+        assert path_weights and max(path_weights) == pytest.approx(1.0)
+
+    def test_weights_monotone_in_tcp(self):
+        engine, critical, timings = self._engine_and_critical()
+        weights = engine._criticality_weights(critical, timings)
+        ranked = sorted(critical, key=lambda n: timings[n.id].critical_delay)
+        def net_peak(net):
+            vals = [w for (nid, _), w in weights.items() if nid == net.id]
+            return max(vals) if vals else 0.0
+        peaks = [net_peak(n) for n in ranked]
+        assert peaks == sorted(peaks)
+
+    def test_exponent_zero_is_uniform_on_paths(self):
+        engine, critical, timings = self._engine_and_critical()
+        weights = engine._criticality_weights(critical, timings, exponent=0.0)
+        for net in critical:
+            on_path = set(
+                timings[net.id].critical_path_segments(net.topology)
+            )
+            for sid in on_path:
+                if (net.id, sid) in weights:
+                    assert weights[(net.id, sid)] == pytest.approx(1.0)
+
+    def test_branch_weight_applied(self):
+        engine, critical, timings = self._engine_and_critical()
+        weights = engine._criticality_weights(critical, timings)
+        worst = max(critical, key=lambda n: timings[n.id].critical_delay)
+        on_path = set(timings[worst.id].critical_path_segments(worst.topology))
+        branch = [
+            s.id for s in worst.topology.segments if s.id not in on_path
+        ]
+        for sid in branch:
+            assert weights[(worst.id, sid)] == pytest.approx(
+                engine.config.branch_weight, rel=1e-6
+            )
+
+
+class TestReservation:
+    def test_reservation_consumes_tracks(self):
+        bench = prepare(generate(tiny_spec()))
+        engine = CPLAEngine(bench, fast_cfg(protect_fraction=0.0))
+        critical, timings = engine.selector.select(bench.nets, 0.05)
+        # protect_fraction=0 protects everything with positive Tcp.
+        from repro.route.occupancy import release_net
+
+        for net in critical:
+            release_net(bench.grid, net.topology)
+        ledger = CapacityLedger(bench.grid)
+        reserved = engine._reserve_protected_tracks(critical, timings, ledger)
+        expected = sum(
+            1
+            for net in critical
+            for seg in net.topology.segments
+            if seg.edges()
+        )
+        assert len(reserved) == expected
+        # A reserved segment's track is held in the ledger.
+        key, (edges, layer) = next(iter(reserved.items()))
+        assert ledger.remaining(edges[0], layer) < bench.grid.remaining(
+            edges[0], layer
+        ) + 1  # consumed at least one
+
+    def test_protection_disabled_at_fraction_one(self):
+        bench = prepare(generate(tiny_spec()))
+        engine = CPLAEngine(bench, fast_cfg(protect_fraction=1.0))
+        critical, timings = engine.selector.select(bench.nets, 0.05)
+        ledger = CapacityLedger(bench.grid)
+        assert engine._reserve_protected_tracks(critical, timings, ledger) == {}
+
+
+class TestPhases:
+    def test_max_phase_never_worsens_final_max(self):
+        base = prepare(generate(tiny_spec()))
+        no_phase = CPLAEngine(base, fast_cfg(max_phase_iterations=0)).run()
+        with_phase = prepare(generate(tiny_spec()))
+        phased = CPLAEngine(with_phase, fast_cfg(max_phase_iterations=2)).run()
+        assert phased.final_max_tcp <= no_phase.final_max_tcp * 1.03
+
+    def test_final_state_dominates_initial(self):
+        bench = prepare(generate(tiny_spec()))
+        report = CPLAEngine(bench, fast_cfg()).run()
+        slack = 1 + fast_cfg().final_selection_avg_slack + 1e-6
+        assert report.final_avg_tcp <= report.initial_avg_tcp * slack
+        assert report.final_max_tcp <= report.initial_max_tcp * 1.001
+
+    def test_zero_max_phase_iterations_valid(self):
+        bench = prepare(generate(tiny_spec()))
+        report = CPLAEngine(bench, fast_cfg(max_phase_iterations=0)).run()
+        assert report.iterations

@@ -1,0 +1,58 @@
+"""Tests for the contest-style solution evaluator."""
+
+import pytest
+
+from repro.ispd.evaluator import evaluate_solution
+from repro.ispd.routes import write_routes
+from repro.ispd.synthetic import generate
+from repro.pipeline import prepare, run_method
+
+from tests.conftest import tiny_spec
+
+
+class TestEvaluator:
+    def test_prepared_solution_is_legal(self):
+        bench = prepare(generate(tiny_spec()))
+        result = evaluate_solution(bench)
+        assert result.legal, result.summary()
+        assert result.wirelength == bench.grid.total_wirelength()
+        assert result.vias == bench.grid.total_vias()
+
+    def test_optimized_solution_stays_legal(self):
+        bench = prepare(generate(tiny_spec()))
+        run_method(bench, "sdp", critical_ratio=0.05)
+        result = evaluate_solution(bench)
+        assert result.legal
+        assert result.wire_overflow == 0
+
+    def test_routes_file_evaluation_matches_in_memory(self):
+        bench = prepare(generate(tiny_spec()))
+        direct = evaluate_solution(bench)
+        text = write_routes(bench)
+        fresh = generate(tiny_spec())
+        via_file = evaluate_solution(fresh, routes=text)
+        assert via_file.wirelength == direct.wirelength
+        assert via_file.vias == direct.vias
+        assert via_file.legal == direct.legal
+
+    def test_total_cost_weights_vias(self):
+        bench = prepare(generate(tiny_spec()))
+        cheap = evaluate_solution(bench, via_cost=0.0)
+        pricey = evaluate_solution(bench, via_cost=3.0)
+        assert pricey.total_cost == cheap.total_cost + 3.0 * pricey.vias
+
+    def test_unrouted_net_rejected(self):
+        bench = generate(tiny_spec())
+        with pytest.raises(ValueError):
+            evaluate_solution(bench)
+
+    def test_grid_restored_after_evaluation(self):
+        bench = prepare(generate(tiny_spec()))
+        grid_before = bench.grid
+        evaluate_solution(bench)
+        assert bench.grid is grid_before
+
+    def test_summary_text(self):
+        bench = prepare(generate(tiny_spec()))
+        text = evaluate_solution(bench).summary()
+        assert "LEGAL" in text and "wirelength" in text

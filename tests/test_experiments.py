@@ -1,0 +1,64 @@
+"""Tests for the programmatic experiment layer (tiny scale)."""
+
+import pytest
+
+from repro.experiments import (
+    run_fig1,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_table2,
+)
+
+SCALE = 0.05  # tiny instances: structure checks only
+
+
+class TestTable2:
+    def test_two_benchmark_table(self):
+        result = run_table2(["adaptec1", "bigblue1"], scale=SCALE)
+        assert len(result.tila_rows) == 2
+        assert len(result.sdp_rows) == 2
+        assert result.tila_average is not None
+        assert set(result.ratios) == {
+            "avg_tcp", "max_tcp", "via_overflow", "vias", "cpu_seconds",
+        }
+        assert "ratio" in result.rendered
+        assert 0 <= result.sdp_wins_avg <= 2
+
+    def test_compare_fn_injection(self):
+        calls = []
+
+        from repro.pipeline import compare
+
+        def fn(name, ratio):
+            calls.append((name, ratio))
+            return compare(name, critical_ratio=ratio, scale=SCALE)
+
+        run_table2(["adaptec1"], ratio=0.01, compare_fn=fn)
+        assert calls == [("adaptec1", 0.01)]
+
+
+class TestFigures:
+    def test_fig1_structure(self):
+        result = run_fig1("adaptec1", ratio=0.02, scale=SCALE)
+        assert result.tail_threshold > 0
+        assert result.tila_tail >= 0 and result.ours_tail >= 0
+        assert "sink-pin delays" in result.rendered
+
+    def test_fig7_structure(self):
+        result = run_fig7(["adaptec1"], scale=SCALE, max_iterations=1)
+        per = result.reports["adaptec1"]
+        assert set(per) == {"ilp", "sdp"}
+        assert result.quality_ratio("avg") > 0
+        assert "ILP Avg" in result.rendered
+
+    def test_fig8_structure(self):
+        result = run_fig8(["adaptec1"], limits=(5, 10), scale=SCALE, max_iterations=1)
+        assert result.series("adaptec1", "final_avg_tcp")
+        assert len(result.reports) == 2
+
+    def test_fig9_structure(self):
+        result = run_fig9("adaptec1", ratios=(0.01, 0.02), scale=SCALE)
+        assert len(result.comparisons) == 2
+        avgs = result.series("ours", "final_avg_tcp")
+        assert len(avgs) == 2 and all(a > 0 for a in avgs)

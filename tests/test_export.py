@@ -1,0 +1,52 @@
+"""Tests for the plot-data exporters."""
+
+import os
+
+from repro.experiments import run_fig1, run_fig7, run_fig8, run_fig9, run_table2
+from repro.experiments.export import (
+    export_fig1,
+    export_fig7,
+    export_fig8,
+    export_fig9,
+    export_table2,
+)
+
+SCALE = 0.05
+
+
+class TestExport:
+    def test_table2_csv(self, tmp_path):
+        result = run_table2(["adaptec1"], scale=SCALE)
+        files = export_table2(result, str(tmp_path))
+        assert len(files) == 1
+        text = open(files[0]).read()
+        assert text.startswith("bench,")
+        assert "adaptec1" in text
+
+    def test_fig1_series_and_script(self, tmp_path):
+        result = run_fig1("adaptec1", ratio=0.02, scale=SCALE)
+        files = export_fig1(result, str(tmp_path))
+        names = {os.path.basename(f) for f in files}
+        assert names == {"fig1_tila.dat", "fig1_ours.dat", "fig1.gp"}
+        dat = open(os.path.join(tmp_path, "fig1_tila.dat")).read()
+        assert dat.startswith("# delay_bin_center")
+
+    def test_fig7_export(self, tmp_path):
+        result = run_fig7(["adaptec1"], scale=SCALE, max_iterations=1)
+        files = export_fig7(result, str(tmp_path))
+        assert any(f.endswith("fig7.dat") for f in files)
+        assert any(f.endswith("fig7.gp") for f in files)
+
+    def test_fig8_export(self, tmp_path):
+        result = run_fig8(["adaptec1"], limits=(5, 10), scale=SCALE, max_iterations=1)
+        files = export_fig8(result, str(tmp_path))
+        dat = open(os.path.join(tmp_path, "fig8_adaptec1.dat")).read()
+        assert len(dat.strip().splitlines()) == 3  # header + 2 limits
+
+    def test_fig9_export(self, tmp_path):
+        result = run_fig9("adaptec1", ratios=(0.01, 0.02), scale=SCALE)
+        files = export_fig9(result, str(tmp_path))
+        dat = open(os.path.join(tmp_path, "fig9.dat")).read()
+        lines = dat.strip().splitlines()
+        assert lines[0].startswith("#")
+        assert len(lines) == 3

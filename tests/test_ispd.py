@@ -1,0 +1,194 @@
+"""Tests for ISPD'08 parsing, writing, and the synthetic suite."""
+
+import io
+
+import pytest
+
+from repro.grid.layers import Direction
+from repro.ispd.parser import ParseError, parse_ispd08
+from repro.ispd.suite import SMALL_CASES, SUITE, load_benchmark, spec_for
+from repro.ispd.synthetic import SyntheticSpec, generate
+from repro.ispd.writer import write_ispd08
+from repro.timing.rc import industrial_rc
+
+SAMPLE = """\
+grid 4 4 2
+vertical capacity 0 8
+horizontal capacity 8 0
+minimum width 1 1
+minimum spacing 1 1
+via spacing 1 1
+0 0 10 10
+num net 2
+netA 0 2
+5 5 1
+35 5 1
+netB 1 3
+5 5 1
+15 25 1
+35 35 2
+1
+0 0 1 1 0 1 4
+"""
+
+
+class TestParser:
+    def test_parses_grid_and_stack(self):
+        bench = parse_ispd08(SAMPLE, name="sample")
+        assert bench.grid.nx_tiles == 4
+        assert bench.stack.num_layers == 2
+        assert bench.stack.direction_of(1) is Direction.HORIZONTAL
+        assert bench.stack.direction_of(2) is Direction.VERTICAL
+
+    def test_capacity_in_tracks(self):
+        bench = parse_ispd08(SAMPLE)
+        # capacity 8, pitch 2 -> 4 tracks
+        assert bench.grid.capacity(("H", 1, 0), 1) == 4
+
+    def test_pins_mapped_to_tiles(self):
+        bench = parse_ispd08(SAMPLE)
+        net_a = bench.net_by_name("netA")
+        assert net_a.pins[0].tile == (0, 0)
+        assert net_a.pins[1].tile == (3, 0)
+        net_b = bench.net_by_name("netB")
+        assert net_b.pins[2].layer == 2
+
+    def test_adjustment_applied(self):
+        bench = parse_ispd08(SAMPLE)
+        assert bench.grid.capacity(("H", 0, 0), 1) == 2  # 4 / pitch 2
+        assert ((("H", 0, 0), 1)) in bench.adjustments
+
+    def test_file_object_input(self):
+        bench = parse_ispd08(io.StringIO(SAMPLE))
+        assert bench.num_nets == 2
+
+    def test_rc_profile_mismatch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ispd08(SAMPLE, rc=industrial_rc(4))
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ispd08("grid 4 4\n")
+
+    def test_truncated_net_rejected(self):
+        bad = SAMPLE.split("netB")[0] + "netB 1 3\n5 5 1\n"
+        with pytest.raises(ParseError):
+            parse_ispd08(bad)
+
+    def test_bad_pin_layer_rejected(self):
+        bad = SAMPLE.replace("35 5 1", "35 5 9")
+        with pytest.raises(ParseError):
+            parse_ispd08(bad)
+
+    def test_parse_error_carries_line_number(self):
+        try:
+            parse_ispd08("grid x y z\n")
+        except (ParseError, ValueError) as exc:
+            assert "line" in str(exc) or isinstance(exc, ValueError)
+
+
+class TestWriterRoundTrip:
+    def test_roundtrip_preserves_structure(self):
+        original = parse_ispd08(SAMPLE, name="rt")
+        text = write_ispd08(original)
+        again = parse_ispd08(text, name="rt")
+        assert again.grid.nx_tiles == original.grid.nx_tiles
+        assert again.stack.num_layers == original.stack.num_layers
+        assert again.num_nets == original.num_nets
+        for n1, n2 in zip(original.nets, again.nets):
+            assert [p.tile for p in n1.pins] == [p.tile for p in n2.pins]
+            assert [p.layer for p in n1.pins] == [p.layer for p in n2.pins]
+        assert again.grid.capacity(("H", 0, 0), 1) == original.grid.capacity(
+            ("H", 0, 0), 1
+        )
+
+    def test_synthetic_roundtrip(self):
+        bench = generate(SyntheticSpec("rt", 14, 14, 6, 80, seed=11))
+        text = write_ispd08(bench)
+        again = parse_ispd08(text, name="rt")
+        assert again.num_nets == bench.num_nets
+        for l in range(1, 7):
+            assert again.stack.layer(l).default_tracks == bench.stack.layer(
+                l
+            ).default_tracks
+
+    def test_writer_to_path(self, tmp_path):
+        bench = generate(SyntheticSpec("w", 14, 14, 4, 30, seed=5))
+        path = tmp_path / "w.gr"
+        write_ispd08(bench, str(path))
+        assert parse_ispd08(str(path)).num_nets == 30
+
+
+class TestSynthetic:
+    def test_deterministic_per_seed(self):
+        a = generate(SyntheticSpec("d", 16, 16, 6, 60, seed=3))
+        b = generate(SyntheticSpec("d", 16, 16, 6, 60, seed=3))
+        assert [p.tile for n in a.nets for p in n.pins] == [
+            p.tile for n in b.nets for p in n.pins
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate(SyntheticSpec("d", 16, 16, 6, 60, seed=3))
+        b = generate(SyntheticSpec("d", 16, 16, 6, 60, seed=4))
+        assert [p.tile for n in a.nets for p in n.pins] != [
+            p.tile for n in b.nets for p in n.pins
+        ]
+
+    def test_critical_nets_are_long(self):
+        bench = generate(SyntheticSpec("c", 20, 20, 6, 200, seed=1))
+        crit = [n for n in bench.nets if n.name.startswith("crit")]
+        rest = [n for n in bench.nets if not n.name.startswith("crit")]
+        assert crit
+        avg_crit = sum(n.hpwl() for n in crit) / len(crit)
+        avg_rest = sum(n.hpwl() for n in rest) / len(rest)
+        assert avg_crit > 2 * avg_rest
+
+    def test_upper_layers_have_fewer_tracks(self):
+        bench = generate(SyntheticSpec("t", 20, 20, 6, 200, seed=1))
+        assert (
+            bench.stack.layer(1).default_tracks
+            > bench.stack.layer(5).default_tracks
+        )
+
+    def test_pins_in_bounds(self):
+        bench = generate(SyntheticSpec("b", 14, 14, 6, 120, seed=9))
+        for net in bench.nets:
+            for pin in net.pins:
+                assert 0 <= pin.x < 14 and 0 <= pin.y < 14
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec("x", 2, 2, 6, 10)
+        with pytest.raises(ValueError):
+            SyntheticSpec("x", 14, 14, 1, 10)
+        with pytest.raises(ValueError):
+            SyntheticSpec("x", 14, 14, 6, 0)
+
+
+class TestSuite:
+    def test_fifteen_benchmarks(self):
+        assert len(SUITE) == 15
+        assert set(SMALL_CASES) <= set(SUITE)
+
+    def test_relative_sizes_preserved(self):
+        small = spec_for("adaptec1")
+        big = spec_for("newblue7")
+        assert big.num_nets > small.num_nets
+        assert big.num_layers == 8
+
+    def test_scale_shrinks_nets(self):
+        full = spec_for("adaptec1")
+        half = spec_for("adaptec1", scale=0.5)
+        assert half.num_nets < full.num_nets
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            spec_for("nonesuch")
+
+    def test_load_benchmark_deterministic(self):
+        a = load_benchmark("bigblue1", scale=0.1)
+        b = load_benchmark("bigblue1", scale=0.1)
+        assert a.num_nets == b.num_nets
+        assert [p.tile for n in a.nets[:10] for p in n.pins] == [
+            p.tile for n in b.nets[:10] for p in n.pins
+        ]

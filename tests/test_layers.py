@@ -1,0 +1,135 @@
+"""Unit tests for the metal-layer model."""
+
+import pytest
+
+from repro.grid.layers import (
+    Direction,
+    Layer,
+    LayerStack,
+    alternating_directions,
+    uniform_stack,
+)
+
+
+def layer(idx, direction=Direction.HORIZONTAL, r=1.0, c=1.0, cap=8.0):
+    return Layer(
+        index=idx,
+        direction=direction,
+        unit_resistance=r,
+        unit_capacitance=c,
+        default_capacity=cap,
+    )
+
+
+class TestDirection:
+    def test_other_flips(self):
+        assert Direction.HORIZONTAL.other is Direction.VERTICAL
+        assert Direction.VERTICAL.other is Direction.HORIZONTAL
+
+    def test_alternating_pattern(self):
+        dirs = alternating_directions(4)
+        assert dirs == (
+            Direction.HORIZONTAL,
+            Direction.VERTICAL,
+            Direction.HORIZONTAL,
+            Direction.VERTICAL,
+        )
+
+    def test_alternating_starting_vertical(self):
+        dirs = alternating_directions(2, Direction.VERTICAL)
+        assert dirs == (Direction.VERTICAL, Direction.HORIZONTAL)
+
+
+class TestLayer:
+    def test_pitch_and_tracks(self):
+        l = Layer(
+            index=1,
+            direction=Direction.HORIZONTAL,
+            unit_resistance=2.0,
+            unit_capacitance=1.0,
+            min_width=1.0,
+            min_spacing=1.0,
+            default_capacity=9.0,
+        )
+        assert l.pitch == 2.0
+        assert l.default_tracks == 4  # floor(9 / 2)
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ValueError):
+            layer(0)
+
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(ValueError):
+            Layer(1, Direction.HORIZONTAL, unit_resistance=0.0, unit_capacitance=1.0)
+
+    def test_rejects_negative_capacitance(self):
+        with pytest.raises(ValueError):
+            Layer(1, Direction.HORIZONTAL, unit_resistance=1.0, unit_capacitance=-1.0)
+
+
+class TestLayerStack:
+    def _stack(self, n=4):
+        dirs = alternating_directions(n)
+        layers = tuple(layer(i + 1, dirs[i]) for i in range(n))
+        return LayerStack(layers=layers, via_resistances=(4.0,) * (n - 1))
+
+    def test_basic_accessors(self):
+        s = self._stack(4)
+        assert s.num_layers == 4
+        assert len(s) == 4
+        assert s.layer(1).index == 1
+        assert s.direction_of(2) is Direction.VERTICAL
+
+    def test_layer_out_of_range(self):
+        s = self._stack()
+        with pytest.raises(IndexError):
+            s.layer(0)
+        with pytest.raises(IndexError):
+            s.layer(5)
+
+    def test_layers_of_direction(self):
+        s = self._stack(6)
+        assert s.layers_of(Direction.HORIZONTAL) == (1, 3, 5)
+        assert s.layers_of(Direction.VERTICAL) == (2, 4, 6)
+        assert s.top_layer_of(Direction.HORIZONTAL) == 5
+
+    def test_via_resistance_between(self):
+        s = self._stack(4)
+        assert s.via_resistance_between(1, 1) == 0.0
+        assert s.via_resistance_between(1, 2) == 4.0
+        assert s.via_resistance_between(1, 4) == 12.0
+        # order-insensitive
+        assert s.via_resistance_between(4, 1) == 12.0
+
+    def test_via_capacitance_defaults_zero(self):
+        s = self._stack()
+        assert s.via_capacitance_between(1, 4) == 0.0
+
+    def test_rejects_misordered_layers(self):
+        layers = (layer(2), layer(1, Direction.VERTICAL))
+        with pytest.raises(ValueError):
+            LayerStack(layers=layers, via_resistances=(1.0,))
+
+    def test_rejects_wrong_via_count(self):
+        layers = (layer(1), layer(2, Direction.VERTICAL))
+        with pytest.raises(ValueError):
+            LayerStack(layers=layers, via_resistances=(1.0, 1.0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LayerStack(layers=(), via_resistances=())
+
+
+class TestUniformStack:
+    def test_builds_consistent_stack(self):
+        s = uniform_stack(
+            4,
+            unit_resistance=[8, 8, 4, 4],
+            unit_capacitance=[1, 1, 1, 1],
+            via_resistance=[4, 4, 4],
+            capacity=[16, 16, 8, 8],
+        )
+        assert s.num_layers == 4
+        assert s.layer(3).unit_resistance == 4.0
+        assert s.layer(1).direction is Direction.HORIZONTAL
+        assert s.layer(1).default_tracks == 8

@@ -1,0 +1,132 @@
+"""Tests for the min-cost max-flow substrate."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver.mcmf import MinCostFlow
+
+
+class TestBasics:
+    def test_single_edge(self):
+        g = MinCostFlow(2)
+        g.add_edge(0, 1, 5, 2.0)
+        assert g.min_cost_flow(0, 1) == (5.0, 10.0)
+
+    def test_two_parallel_paths_cheapest_first(self):
+        g = MinCostFlow(4)
+        g.add_edge(0, 1, 1, 1.0)
+        g.add_edge(1, 3, 1, 1.0)
+        g.add_edge(0, 2, 1, 5.0)
+        g.add_edge(2, 3, 1, 5.0)
+        flow, cost = g.min_cost_flow(0, 3, max_flow=1)
+        assert (flow, cost) == (1.0, 2.0)
+
+    def test_doc_example(self):
+        g = MinCostFlow(4)
+        g.add_edge(0, 1, 2, 1.0)
+        g.add_edge(0, 2, 1, 2.0)
+        g.add_edge(1, 3, 1, 1.0)
+        g.add_edge(2, 3, 2, 1.0)
+        g.add_edge(1, 2, 1, 0.5)
+        assert g.min_cost_flow(0, 3) == (3.0, 7.5)
+
+    def test_flow_on_reports_edge_flow(self):
+        g = MinCostFlow(3)
+        e1 = g.add_edge(0, 1, 2, 1.0)
+        e2 = g.add_edge(1, 2, 1, 1.0)
+        g.min_cost_flow(0, 2)
+        assert g.flow_on(e1) == 1.0
+        assert g.flow_on(e2) == 1.0
+
+    def test_disconnected_zero_flow(self):
+        g = MinCostFlow(3)
+        g.add_edge(0, 1, 1, 1.0)
+        assert g.min_cost_flow(0, 2) == (0.0, 0.0)
+
+    def test_negative_costs_handled(self):
+        g = MinCostFlow(3)
+        g.add_edge(0, 1, 1, -2.0)
+        g.add_edge(1, 2, 1, 1.0)
+        flow, cost = g.min_cost_flow(0, 2)
+        assert (flow, cost) == (1.0, -1.0)
+
+    def test_max_flow_cap_respected(self):
+        g = MinCostFlow(2)
+        g.add_edge(0, 1, 10, 1.0)
+        flow, cost = g.min_cost_flow(0, 1, max_flow=3)
+        assert (flow, cost) == (3.0, 3.0)
+
+    def test_validation(self):
+        g = MinCostFlow(2)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 5, 1, 1.0)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, -1, 1.0)
+        with pytest.raises(ValueError):
+            g.min_cost_flow(1, 1)
+        with pytest.raises(ValueError):
+            MinCostFlow(0)
+
+
+class TestAssignmentProblems:
+    def brute_force_assignment(self, costs):
+        """Optimal bipartite assignment cost by enumeration."""
+        n = len(costs)
+        best = None
+        for perm in itertools.permutations(range(n)):
+            total = sum(costs[i][perm[i]] for i in range(n))
+            best = total if best is None else min(best, total)
+        return best
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        costs=st.lists(
+            st.lists(st.integers(0, 20), min_size=3, max_size=3),
+            min_size=3,
+            max_size=3,
+        )
+    )
+    def test_matches_brute_force_on_3x3_assignment(self, costs):
+        n = 3
+        g = MinCostFlow(2 + 2 * n)
+        src, sink = 0, 1 + 2 * n
+        for i in range(n):
+            g.add_edge(src, 1 + i, 1, 0.0)
+            g.add_edge(1 + n + i, sink, 1, 0.0)
+            for j in range(n):
+                g.add_edge(1 + i, 1 + n + j, 1, float(costs[i][j]))
+        flow, cost = g.min_cost_flow(src, sink)
+        assert flow == n
+        assert cost == pytest.approx(self.brute_force_assignment(costs))
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_flow_conservation(data):
+    """Net flow at interior nodes is zero; source output equals sink input."""
+    num_nodes = data.draw(st.integers(3, 7))
+    num_edges = data.draw(st.integers(2, 14))
+    g = MinCostFlow(num_nodes)
+    edges = []
+    for _ in range(num_edges):
+        u = data.draw(st.integers(0, num_nodes - 1))
+        v = data.draw(st.integers(0, num_nodes - 1))
+        if u == v:
+            continue
+        cap = data.draw(st.integers(1, 4))
+        cost = data.draw(st.integers(0, 9))
+        eid = g.add_edge(u, v, cap, float(cost))
+        edges.append((eid, u, v))
+    flow, _ = g.min_cost_flow(0, num_nodes - 1)
+    net = [0.0] * num_nodes
+    for eid, u, v in edges:
+        f = g.flow_on(eid)
+        assert 0 <= f
+        net[u] -= f
+        net[v] += f
+    assert net[0] == pytest.approx(-flow)
+    assert net[num_nodes - 1] == pytest.approx(flow)
+    for k in range(1, num_nodes - 1):
+        assert net[k] == pytest.approx(0.0)

@@ -1,0 +1,77 @@
+"""Unit tests for nets, pins, and segments."""
+
+import pytest
+
+from repro.grid.layers import Direction
+from repro.route.net import Net, Pin, Segment
+
+
+class TestPin:
+    def test_tile(self):
+        assert Pin(3, 4, 2).tile == (3, 4)
+
+    def test_frozen_and_hashable(self):
+        a = Pin(1, 1, 1, 1.0)
+        b = Pin(1, 1, 1, 1.0)
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestSegment:
+    def test_horizontal_properties(self):
+        s = Segment(0, 0, "H", 2, 5, 6, 5)
+        assert s.length == 4
+        assert s.direction is Direction.HORIZONTAL
+        assert s.edges() == [("H", x, 5) for x in range(2, 6)]
+        assert s.tiles() == [(x, 5) for x in range(2, 7)]
+        assert s.midpoint() == (4.0, 5.0)
+
+    def test_vertical_properties(self):
+        s = Segment(0, 0, "V", 3, 1, 3, 4)
+        assert s.length == 3
+        assert s.direction is Direction.VERTICAL
+        assert len(s.edges()) == 3
+        assert all(e[0] == "V" for e in s.edges())
+
+    def test_other_endpoint(self):
+        s = Segment(0, 0, "H", 0, 0, 3, 0)
+        assert s.other_endpoint((0, 0)) == (3, 0)
+        assert s.other_endpoint((3, 0)) == (0, 0)
+        with pytest.raises(ValueError):
+            s.other_endpoint((1, 0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Segment(0, 0, "H", 3, 0, 1, 0)  # reversed
+        with pytest.raises(ValueError):
+            Segment(0, 0, "H", 0, 0, 3, 1)  # not straight
+        with pytest.raises(ValueError):
+            Segment(0, 0, "V", 0, 2, 0, 2)  # zero length
+        with pytest.raises(ValueError):
+            Segment(0, 0, "D", 0, 0, 1, 0)  # bad axis
+
+
+class TestNet:
+    def _net(self):
+        return Net(7, "n7", [Pin(0, 0), Pin(4, 2, capacitance=2.0), Pin(1, 5)])
+
+    def test_source_and_sinks(self):
+        net = self._net()
+        assert net.source == net.pins[0]
+        assert len(net.sinks) == 2
+
+    def test_hpwl(self):
+        assert self._net().hpwl() == 4 + 5
+
+    def test_empty_net_source_rejected(self):
+        with pytest.raises(ValueError):
+            Net(0, "e", []).source
+
+    def test_local_detection(self):
+        local = Net(0, "l", [Pin(2, 2, 1), Pin(2, 2, 4)])
+        assert local.is_local()
+        assert not self._net().is_local()
+        assert local.hpwl() == 0
+
+    def test_pin_tiles(self):
+        assert self._net().pin_tiles == [(0, 0), (4, 2), (1, 5)]

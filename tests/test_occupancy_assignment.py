@@ -1,0 +1,108 @@
+"""Tests for grid occupancy bookkeeping and the initial layer assigner."""
+
+import pytest
+
+from repro.grid.graph import GridGraph, manhattan_path_edges
+from repro.route.assignment import AssignerConfig, InitialAssigner
+from repro.route.net import Net, Pin
+from repro.route.occupancy import commit_net, release_net
+from repro.route.tree import build_topology
+
+from tests.conftest import make_stack
+
+
+def l_net(nid=0):
+    net = Net(nid, f"n{nid}", [Pin(0, 0), Pin(2, 2, capacitance=2.0)])
+    net.route_edges = manhattan_path_edges([(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)])
+    return net
+
+
+class TestOccupancy:
+    def test_commit_release_roundtrip(self):
+        grid = GridGraph(6, 6, make_stack(4))
+        net = l_net()
+        topo = build_topology(net)
+        for seg in topo.segments:
+            seg.layer = 1 if seg.axis == "H" else 2
+        commit_net(grid, topo)
+        assert grid.total_wirelength() == 4
+        assert grid.total_vias() > 0
+        release_net(grid, topo)
+        assert grid.total_wirelength() == 0
+        assert grid.total_vias() == 0
+
+    def test_commit_unassigned_rejected(self):
+        grid = GridGraph(6, 6, make_stack(4))
+        topo = build_topology(l_net())
+        with pytest.raises(ValueError):
+            commit_net(grid, topo)
+
+    def test_release_tracks_current_layers(self):
+        """Releasing with different layers than committed must fail loudly."""
+        grid = GridGraph(6, 6, make_stack(4))
+        net = l_net()
+        topo = build_topology(net)
+        h = next(s for s in topo.segments if s.axis == "H")
+        v = next(s for s in topo.segments if s.axis == "V")
+        h.layer, v.layer = 1, 2
+        commit_net(grid, topo)
+        h.layer = 3  # corrupt the protocol
+        with pytest.raises(ValueError):
+            release_net(grid, topo)
+
+
+class TestInitialAssigner:
+    def test_assigns_direction_legal_layers(self, tiny_bench):
+        from repro.route.router import GlobalRouter
+
+        GlobalRouter(tiny_bench.grid).route(tiny_bench.nets)
+        for net in tiny_bench.nets:
+            build_topology(net)
+        InitialAssigner(tiny_bench.grid).assign(tiny_bench.nets)
+        for net in tiny_bench.nets:
+            for seg in net.topology.segments:
+                assert seg.layer > 0
+                assert tiny_bench.stack.direction_of(seg.layer) is seg.direction
+
+    def test_usage_matches_assignments(self, tiny_bench):
+        from repro.route.router import GlobalRouter
+
+        GlobalRouter(tiny_bench.grid).route(tiny_bench.nets)
+        for net in tiny_bench.nets:
+            build_topology(net)
+        InitialAssigner(tiny_bench.grid).assign(tiny_bench.nets)
+        expected_wirelength = sum(
+            seg.length for net in tiny_bench.nets for seg in net.topology.segments
+        )
+        assert tiny_bench.grid.total_wirelength() == expected_wirelength
+
+    def test_local_net_committed(self):
+        grid = GridGraph(6, 6, make_stack(4))
+        net = Net(0, "l", [Pin(1, 1, 1), Pin(1, 1, 3)])
+        net.route_edges = []
+        build_topology(net)
+        InitialAssigner(grid).assign_net(net)
+        assert grid.total_vias() == 2  # cuts 1->3
+
+    def test_unrouted_net_rejected(self):
+        grid = GridGraph(6, 6, make_stack(4))
+        net = Net(0, "u", [Pin(0, 0), Pin(3, 0)])
+        with pytest.raises(ValueError):
+            InitialAssigner(grid).assign_net(net)
+
+    def test_congestion_spreads_layers(self):
+        """Saturating one layer pushes later nets to other layers."""
+        grid = GridGraph(8, 8, make_stack(4, tracks=1))
+        nets = []
+        for i in range(3):
+            net = Net(i, f"n{i}", [Pin(0, 3), Pin(5, 3)])
+            net.route_edges = manhattan_path_edges([(x, 3) for x in range(6)])
+            build_topology(net)
+            nets.append(net)
+        InitialAssigner(grid).assign(nets)
+        layers = {net.topology.segments[0].layer for net in nets}
+        assert len(layers) >= 2  # not all piled on one layer
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            AssignerConfig(order="bogus")

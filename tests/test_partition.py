@@ -1,0 +1,121 @@
+"""Tests for K x K division and self-adaptive quadruple partitioning."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partition import Region, kxk_regions, self_adaptive_partition
+from repro.route.net import Segment
+
+
+def seg(key, x, y, length=1, axis="H"):
+    if axis == "H":
+        return (key, Segment(0, 0, "H", x, y, x + length, y))
+    return (key, Segment(0, 0, "V", x, y, x, y + length))
+
+
+class TestRegion:
+    def test_contains_half_open(self):
+        r = Region(0, 0, 4, 4)
+        assert r.contains_point(0, 0)
+        assert r.contains_point(3.999, 0)
+        assert not r.contains_point(4, 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Region(2, 2, 2, 4)
+
+    def test_quad_children_partition_area(self):
+        r = Region(0, 0, 4, 6)
+        children = r.quad_children()
+        assert len(children) == 4
+        area = sum(c.width * c.height for c in children)
+        assert area == pytest.approx(r.width * r.height)
+
+    def test_thin_region_splits_in_one_axis(self):
+        r = Region(0, 0, 1, 4)
+        children = r.quad_children()
+        assert len(children) == 2
+
+    def test_atomic(self):
+        assert Region(0, 0, 1, 1).is_atomic
+        assert not Region(0, 0, 2, 1).is_atomic
+
+
+class TestKxK:
+    def test_covers_grid_exactly(self):
+        regions = kxk_regions(20, 20, 5)
+        assert len(regions) == 25
+        area = sum(r.width * r.height for r in regions)
+        assert area == pytest.approx(400)
+
+    def test_k_clamped_to_grid(self):
+        regions = kxk_regions(3, 3, 10)
+        assert len(regions) == 9
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            kxk_regions(10, 10, 0)
+
+
+class TestSelfAdaptive:
+    def test_every_segment_in_exactly_one_leaf(self):
+        segments = [seg(i, x, y) for i, (x, y) in enumerate(
+            [(0, 0), (1, 1), (5, 5), (9, 9), (9, 0), (0, 9), (4, 4), (6, 2)]
+        )]
+        leaves = self_adaptive_partition(12, 12, segments, k=2, max_segments=3)
+        seen = [k for _, keys in leaves for k in keys]
+        assert sorted(seen) == list(range(8))
+
+    def test_leaves_respect_max_segments(self):
+        segments = [seg(i, i % 10, i // 10) for i in range(60)]
+        leaves = self_adaptive_partition(12, 12, segments, k=1, max_segments=5)
+        for region, keys in leaves:
+            assert len(keys) <= 5 or region.is_atomic
+
+    def test_dense_single_tile_stops_splitting(self):
+        # 20 segments with the same midpoint: cannot split below one tile.
+        segments = [seg(i, 3, 3) for i in range(20)]
+        leaves = self_adaptive_partition(8, 8, segments, k=1, max_segments=4)
+        assert len(leaves) == 1
+        region, keys = leaves[0]
+        assert len(keys) == 20
+
+    def test_no_empty_leaves(self):
+        segments = [seg(0, 1, 1)]
+        leaves = self_adaptive_partition(16, 16, segments, k=4, max_segments=10)
+        assert len(leaves) == 1
+
+    def test_boundary_midpoints_bucketed(self):
+        # Segment midpoint on the far grid edge must still land in a leaf.
+        segments = [seg(0, 10, 11, length=1)]
+        leaves = self_adaptive_partition(12, 12, segments, k=3, max_segments=10)
+        assert sum(len(keys) for _, keys in leaves) == 1
+
+    def test_deterministic_order(self):
+        segments = [seg(i, (i * 3) % 11, (i * 7) % 11) for i in range(30)]
+        a = self_adaptive_partition(12, 12, segments, 3, 4)
+        b = self_adaptive_partition(12, 12, segments, 3, 4)
+        assert [(r, keys) for r, keys in a] == [(r, keys) for r, keys in b]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self_adaptive_partition(8, 8, [], 2, 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    coords=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)),
+        min_size=1,
+        max_size=50,
+    ),
+    k=st.integers(1, 5),
+    max_segments=st.integers(1, 8),
+)
+def test_partition_is_exhaustive_and_disjoint(coords, k, max_segments):
+    segments = [seg(i, x, y) for i, (x, y) in enumerate(coords)]
+    leaves = self_adaptive_partition(17, 16, segments, k, max_segments)
+    seen = [key for _, keys in leaves for key in keys]
+    assert sorted(seen) == sorted(range(len(coords)))
+    for region, keys in leaves:
+        assert keys

@@ -1,0 +1,77 @@
+"""Integration tests for the pipeline layer and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.ispd.synthetic import generate
+from repro.pipeline import compare, prepare, run_method
+
+from tests.conftest import tiny_spec
+
+
+class TestPrepare:
+    def test_prepare_by_name(self):
+        bench = prepare("adaptec1", scale=0.05)
+        assert bench.name == "adaptec1"
+        for net in bench.nets:
+            assert net.topology is not None
+            for seg in net.topology.segments:
+                assert seg.layer > 0
+
+    def test_prepare_benchmark_object(self):
+        bench = prepare(generate(tiny_spec()))
+        assert bench.grid.total_wirelength() > 0
+
+
+class TestRunMethod:
+    def test_all_methods_run(self):
+        for method in ("tila", "sdp"):
+            bench = prepare(generate(tiny_spec()))
+            report = run_method(bench, method, critical_ratio=0.05)
+            assert report.final_avg_tcp <= report.initial_avg_tcp * 1.001
+
+    def test_unknown_method_rejected(self):
+        bench = prepare(generate(tiny_spec()))
+        with pytest.raises(ValueError):
+            run_method(bench, "quantum")
+
+    def test_compare_pairs_same_released_nets(self):
+        result = compare("adaptec1", critical_ratio=0.01, scale=0.05)
+        assert set(result.baseline.critical_net_ids) == set(
+            result.ours.critical_net_ids
+        )
+        assert result.avg_ratio > 0
+        assert result.max_ratio > 0
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--benchmark", "adaptec1"])
+        assert args.command == "run"
+        args = parser.parse_args(["table2", "--scale", "0.1"])
+        assert args.scale == 0.1
+
+    def test_gen_writes_files(self, tmp_path, capsys):
+        rc = main(["gen", "adaptec1", "--out", str(tmp_path), "--scale", "0.05"])
+        assert rc == 0
+        assert (tmp_path / "adaptec1.gr").exists()
+
+    def test_gen_unknown_benchmark(self, tmp_path):
+        rc = main(["gen", "nonesuch", "--out", str(tmp_path)])
+        assert rc == 2
+
+    def test_run_command(self, capsys):
+        rc = main([
+            "run", "--benchmark", "adaptec1", "--method", "tila",
+            "--scale", "0.05", "--ratio", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Avg(Tcp)" in out
+        assert "runtime" in out
+
+    def test_density_command(self, capsys):
+        rc = main(["density", "--benchmark", "adaptec1", "--scale", "0.05"])
+        assert rc == 0
+        assert capsys.readouterr().out.strip()

@@ -1,0 +1,113 @@
+"""Tests for svec/smat and the PSD projection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.solver.psd import (
+    entry_svec_index,
+    is_psd,
+    project_psd,
+    smat,
+    svec,
+    svec_dim,
+    svec_indices,
+)
+
+
+def random_symmetric(n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    return (a + a.T) / 2
+
+
+class TestSvec:
+    def test_dim(self):
+        assert svec_dim(1) == 1
+        assert svec_dim(4) == 10
+
+    def test_roundtrip(self):
+        m = random_symmetric(5, seed=1)
+        assert np.allclose(smat(svec(m), 5), m)
+
+    def test_isometry(self):
+        """<A, B>_F == svec(A) . svec(B)."""
+        a = random_symmetric(4, seed=2)
+        b = random_symmetric(4, seed=3)
+        assert np.tensordot(a, b) == pytest.approx(float(svec(a) @ svec(b)))
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            svec(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            smat(np.zeros(4), 3)
+
+    def test_entry_index_matches_layout(self):
+        n = 5
+        rows, cols = svec_indices(n)
+        for k, (i, j) in enumerate(zip(rows, cols)):
+            assert entry_svec_index(n, int(i), int(j)) == k
+            assert entry_svec_index(n, int(j), int(i)) == k
+
+    def test_entry_index_bounds(self):
+        with pytest.raises(IndexError):
+            entry_svec_index(3, 0, 3)
+
+
+class TestProjection:
+    def test_psd_input_unchanged(self):
+        m = np.diag([1.0, 2.0, 0.0])
+        assert np.allclose(project_psd(m), m)
+
+    def test_negative_eigenvalues_clipped(self):
+        m = np.diag([2.0, -3.0])
+        p = project_psd(m)
+        assert np.allclose(p, np.diag([2.0, 0.0]))
+
+    def test_result_is_psd(self):
+        m = random_symmetric(6, seed=4) - 2 * np.eye(6)
+        assert is_psd(project_psd(m))
+
+    def test_projection_is_idempotent(self):
+        m = random_symmetric(5, seed=5)
+        p = project_psd(m)
+        assert np.allclose(project_psd(p), p, atol=1e-10)
+
+    def test_is_psd_detects_indefinite(self):
+        assert not is_psd(np.diag([1.0, -1.0]))
+        assert is_psd(np.eye(3))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    m=arrays(
+        np.float64,
+        (4, 4),
+        elements=st.floats(-5, 5, allow_nan=False, allow_infinity=False),
+    )
+)
+def test_projection_properties(m):
+    sym = (m + m.T) / 2
+    p = project_psd(sym)
+    # PSD and never farther than the original from any PSD matrix
+    assert is_psd(p, tol=1e-7)
+    # Projection is the closest PSD matrix: distance to p <= distance to
+    # any other PSD candidate we can easily construct (identity scaled).
+    dist_p = np.linalg.norm(sym - p)
+    dist_eye = np.linalg.norm(sym - np.eye(4) * max(np.trace(sym) / 4, 0.0))
+    assert dist_p <= dist_eye + 1e-8
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    v=arrays(
+        np.float64,
+        (svec_dim(4),),
+        elements=st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+    )
+)
+def test_svec_smat_inverse_property(v):
+    m = smat(v, 4)
+    assert np.allclose(m, m.T)
+    assert np.allclose(svec(m), v)

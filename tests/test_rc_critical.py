@@ -1,0 +1,93 @@
+"""Tests for RC tables and critical-net selection."""
+
+import pytest
+
+from repro.grid.graph import manhattan_path_edges
+from repro.route.net import Net, Pin
+from repro.route.tree import build_topology
+from repro.timing.critical import (
+    CriticalitySelector,
+    critical_path_stats,
+    pin_delay_distribution,
+)
+from repro.timing.elmore import ElmoreEngine
+from repro.timing.rc import RCProfile, industrial_rc
+
+from tests.conftest import make_stack
+
+
+class TestRCProfile:
+    def test_resistance_decreases_with_height(self):
+        rc = industrial_rc(8)
+        assert rc.unit_resistance[0] > rc.unit_resistance[4] > rc.unit_resistance[7]
+
+    def test_tier_structure(self):
+        rc = industrial_rc(6, base_resistance=8.0, tier_shrink=0.5)
+        assert rc.unit_resistance[0] == rc.unit_resistance[1] == 8.0
+        assert rc.unit_resistance[2] == rc.unit_resistance[3] == 4.0
+        assert rc.unit_resistance[4] == 2.0
+
+    def test_capacitance_floor(self):
+        rc = industrial_rc(20, cap_tier_drift=-0.5)
+        assert min(rc.unit_capacitance) >= 0.1
+
+    def test_via_tables_length(self):
+        rc = industrial_rc(6)
+        assert len(rc.via_resistance) == 5
+        assert len(rc.via_capacitance) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            industrial_rc(0)
+        with pytest.raises(ValueError):
+            industrial_rc(4, tier_shrink=1.5)
+        with pytest.raises(ValueError):
+            RCProfile((1.0,), (1.0, 2.0), (), ())
+
+
+def straight_net(nid, length, cap):
+    net = Net(nid, f"n{nid}", [Pin(0, nid), Pin(length, nid, capacitance=cap)])
+    net.route_edges = manhattan_path_edges([(x, nid) for x in range(length + 1)])
+    topo = build_topology(net)
+    topo.segments[0].layer = 1
+    return net
+
+
+class TestCriticalitySelection:
+    def test_selects_slowest_nets(self):
+        stack = make_stack(4)
+        engine = ElmoreEngine(stack)
+        nets = [straight_net(i, length=2 + 2 * i, cap=1.0) for i in range(5)]
+        selector = CriticalitySelector(engine)
+        released, timings = selector.select(nets, ratio=0.4)
+        assert len(released) == 2
+        # The two longest nets are the slowest.
+        assert {n.id for n in released} == {3, 4}
+
+    def test_at_least_one_released(self):
+        stack = make_stack(4)
+        nets = [straight_net(0, 3, 1.0)]
+        released, _ = CriticalitySelector(ElmoreEngine(stack)).select(nets, 0.001)
+        assert len(released) == 1
+
+    def test_ratio_validation(self):
+        stack = make_stack(4)
+        selector = CriticalitySelector(ElmoreEngine(stack))
+        with pytest.raises(ValueError):
+            selector.select([], 0.0)
+        with pytest.raises(ValueError):
+            selector.select([], 1.5)
+
+    def test_stats_and_distribution(self):
+        stack = make_stack(4)
+        engine = ElmoreEngine(stack)
+        nets = [straight_net(i, 2 + i, 1.0) for i in range(3)]
+        released, timings = CriticalitySelector(engine).select(nets, 1.0)
+        avg, mx = critical_path_stats(timings, released)
+        delays = pin_delay_distribution(timings, released)
+        assert mx >= avg > 0
+        assert len(delays) == 3  # one sink each
+        assert max(delays) == pytest.approx(mx)
+
+    def test_empty_stats(self):
+        assert critical_path_stats({}, []) == (0.0, 0.0)

@@ -1,0 +1,162 @@
+"""Tests for the 2-D global router."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grid.graph import GridGraph, edge_endpoints
+from repro.route.net import Net, Pin
+from repro.route.router import GlobalRouter, RouterConfig, _extract_tree
+from repro.route.tree import build_topology
+
+from tests.conftest import make_stack
+
+
+def make_grid(n=10, tracks=4):
+    return GridGraph(n, n, make_stack(4, tracks=tracks))
+
+
+def route_edges_connected(edges, pins):
+    """All pin tiles reachable within the edge set."""
+    adj = {}
+    for e in edges:
+        a, b = edge_endpoints(e)
+        adj.setdefault(a, set()).add(b)
+        adj.setdefault(b, set()).add(a)
+    if not adj:
+        return len({p for p in pins}) <= 1
+    start = pins[0]
+    seen = {start}
+    stack = [start]
+    while stack:
+        u = stack.pop()
+        for v in adj.get(u, ()):
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return all(p in seen for p in pins)
+
+
+class TestPatternRouting:
+    def test_two_pin_l_route(self):
+        grid = make_grid()
+        router = GlobalRouter(grid)
+        net = Net(0, "n0", [Pin(1, 1), Pin(4, 5)])
+        router.route([net])
+        assert route_edges_connected(net.route_edges, net.pin_tiles)
+        # Wirelength equals Manhattan distance for a clean 2-pin route.
+        assert len(net.route_edges) == 3 + 4
+
+    def test_local_net_no_edges(self):
+        grid = make_grid()
+        router = GlobalRouter(grid)
+        net = Net(0, "local", [Pin(2, 2), Pin(2, 2, layer=3)])
+        router.route([net])
+        assert net.route_edges == []
+
+    def test_straight_net(self):
+        grid = make_grid()
+        router = GlobalRouter(grid)
+        net = Net(0, "s", [Pin(0, 3), Pin(6, 3)])
+        router.route([net])
+        assert len(net.route_edges) == 6
+        assert all(e[0] == "H" for e in net.route_edges)
+
+    def test_multipin_net_spans_all(self):
+        grid = make_grid()
+        router = GlobalRouter(grid)
+        net = Net(0, "m", [Pin(0, 0), Pin(9, 0), Pin(0, 9), Pin(9, 9), Pin(5, 5)])
+        router.route([net])
+        assert route_edges_connected(net.route_edges, net.pin_tiles)
+
+    def test_routes_are_topology_buildable(self):
+        grid = make_grid()
+        router = GlobalRouter(grid)
+        nets = [
+            Net(i, f"n{i}", [Pin(i % 9, 1), Pin((i * 3) % 9, 7), Pin(4, i % 9)])
+            for i in range(12)
+        ]
+        router.route(nets)
+        for net in nets:
+            topo = build_topology(net)
+            assert topo.num_segments >= 1
+
+
+class TestCongestion:
+    def test_negotiation_reduces_overflow(self):
+        grid = make_grid(n=8, tracks=1)
+        config = RouterConfig(rounds=4)
+        router = GlobalRouter(grid, config)
+        # Many nets through the same corridor.
+        nets = [Net(i, f"n{i}", [Pin(0, 3), Pin(7, 3)]) for i in range(6)]
+        router.route(nets)
+        single_round = GlobalRouter(make_grid(n=8, tracks=1), RouterConfig(rounds=1))
+        nets2 = [Net(i, f"n{i}", [Pin(0, 3), Pin(7, 3)]) for i in range(6)]
+        single_round.route(nets2)
+        assert router.total_overflow() <= single_round.total_overflow()
+
+    def test_overflowed_edges_reported(self):
+        grid = make_grid(n=6, tracks=1)
+        router = GlobalRouter(grid, RouterConfig(rounds=1))
+        nets = [Net(i, f"n{i}", [Pin(0, 2), Pin(5, 2)]) for i in range(8)]
+        router.route(nets)
+        assert router.total_overflow() > 0
+        assert router.overflowed_edges()
+
+
+class TestExtractTree:
+    def test_cycle_removed(self):
+        # A 2x2 cycle of edges; pins at two corners.
+        edges = {("H", 0, 0), ("H", 0, 1), ("V", 0, 0), ("V", 1, 0)}
+        out = _extract_tree(edges, (0, 0), {(0, 0), (1, 1)}, "t")
+        assert len(out) == 3 or len(out) == 2  # spanning tree, maybe pruned
+        assert route_edges_connected(out, [(0, 0), (1, 1)])
+
+    def test_dangling_stub_pruned(self):
+        edges = {("H", 0, 0), ("H", 1, 0), ("V", 1, 0)}  # stub up at (1,0)
+        out = _extract_tree(edges, (0, 0), {(0, 0), (2, 0)}, "t")
+        assert ("V", 1, 0) not in out
+
+    def test_unreachable_pin_raises(self):
+        edges = {("H", 0, 0)}
+        with pytest.raises(RuntimeError):
+            _extract_tree(edges, (0, 0), {(0, 0), (5, 5)}, "t")
+
+
+class TestMonotoneCandidates:
+    def test_candidates_are_valid_paths(self):
+        grid = make_grid()
+        router = GlobalRouter(grid)
+        for a, b in [((0, 0), (3, 2)), ((5, 5), (2, 1)), ((0, 4), (4, 4))]:
+            for path in router._monotone_candidates(a, b):
+                assert path[0] == a and path[-1] == b
+                for u, v in zip(path, path[1:]):
+                    assert abs(u[0] - v[0]) + abs(u[1] - v[1]) == 1
+
+    def test_l_and_z_counts(self):
+        grid = make_grid()
+        router = GlobalRouter(grid)
+        cands = router._monotone_candidates((0, 0), (3, 3))
+        # 4 vertical-jog paths (incl. both Ls) + 2 interior horizontal jogs
+        assert len(cands) == 6
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    pins=st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)),
+        min_size=2,
+        max_size=6,
+        unique=True,
+    )
+)
+def test_router_always_produces_buildable_trees(pins):
+    grid = make_grid(n=8)
+    router = GlobalRouter(grid)
+    net = Net(0, "p", [Pin(x, y) for x, y in pins])
+    router.route([net])
+    topo = build_topology(net)
+    covered = set()
+    for seg in topo.segments:
+        covered.update(seg.tiles())
+    if topo.segments:
+        assert all(t in covered for t in net.pin_tiles)

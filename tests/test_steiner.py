@@ -1,0 +1,109 @@
+"""Tests for the rectilinear Steiner topology builder."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.route.steiner import (
+    manhattan,
+    mst_connections,
+    steiner_tree_edges,
+    tree_cost,
+)
+
+
+def as_graph(connections):
+    g = nx.Graph()
+    for a, b in connections:
+        g.add_edge(a, b)
+    return g
+
+
+class TestMst:
+    def test_empty_and_single(self):
+        assert mst_connections([]) == []
+        assert mst_connections([(0, 0)]) == []
+
+    def test_two_points(self):
+        conns = mst_connections([(0, 0), (3, 4)])
+        assert conns == [((0, 0), (3, 4))]
+        assert tree_cost(conns) == 7
+
+    def test_collinear_chain(self):
+        pts = [(0, 0), (2, 0), (1, 0)]
+        conns = mst_connections(pts)
+        assert tree_cost(conns) == 2
+
+    def test_duplicates_removed(self):
+        conns = mst_connections([(0, 0), (0, 0), (1, 0)])
+        assert len(conns) == 1
+
+    def test_known_square(self):
+        pts = [(0, 0), (0, 2), (2, 0), (2, 2)]
+        conns = mst_connections(pts)
+        assert tree_cost(conns) == 6  # 3 edges of length 2
+
+    def test_spans_all_points(self):
+        pts = [(0, 0), (5, 1), (2, 7), (9, 9), (4, 4)]
+        g = as_graph(mst_connections(pts))
+        assert set(g.nodes) == set(pts)
+        assert nx.is_connected(g)
+        assert g.number_of_edges() == len(pts) - 1
+
+
+class TestSteinerRefinement:
+    def test_cross_benefits_from_steiner_point(self):
+        # Plus-shaped pins: the centre Steiner point saves wirelength.
+        pts = [(1, 0), (0, 1), (2, 1), (1, 2)]
+        mst = tree_cost(mst_connections(pts))
+        refined = steiner_tree_edges(pts)
+        assert tree_cost(refined) < mst
+        assert tree_cost(refined) == 4
+
+    def test_refined_tree_still_spans_pins(self):
+        pts = [(0, 0), (4, 0), (2, 3), (0, 4), (4, 4)]
+        g = as_graph(steiner_tree_edges(pts))
+        for p in pts:
+            assert p in g.nodes
+        assert nx.is_connected(g)
+
+    def test_large_nets_skip_refinement(self):
+        pts = [(i, i % 5) for i in range(20)]
+        refined = steiner_tree_edges(pts, max_refine_points=12)
+        assert tree_cost(refined) == tree_cost(mst_connections(pts))
+
+    def test_refine_flag_off(self):
+        pts = [(1, 0), (0, 1), (2, 1), (1, 2)]
+        assert tree_cost(steiner_tree_edges(pts, refine=False)) == tree_cost(
+            mst_connections(pts)
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    pts=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)),
+        min_size=2,
+        max_size=9,
+        unique=True,
+    )
+)
+def test_steiner_tree_properties(pts):
+    """Spanning, acyclic, and never worse than the MST."""
+    conns = steiner_tree_edges(pts)
+    g = as_graph(conns)
+    for p in pts:
+        assert p in g.nodes
+    assert nx.is_connected(g)
+    assert g.number_of_edges() == g.number_of_nodes() - 1  # a tree
+    assert tree_cost(conns) <= tree_cost(mst_connections(pts))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    a=st.tuples(st.integers(0, 50), st.integers(0, 50)),
+    b=st.tuples(st.integers(0, 50), st.integers(0, 50)),
+)
+def test_manhattan_metric(a, b):
+    assert manhattan(a, b) == manhattan(b, a) >= 0
+    assert manhattan(a, a) == 0

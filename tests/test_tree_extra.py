@@ -1,0 +1,64 @@
+"""Additional topology-query tests (junctions, stacks, lookups)."""
+
+import pytest
+
+from repro.grid.graph import manhattan_path_edges
+from repro.ispd.benchmark import Benchmark
+from repro.route.net import Net, Pin
+from repro.route.tree import ViaStack, build_topology
+
+
+def cross_net():
+    """A plus-shaped net: four arms meeting at (2, 2)."""
+    net = Net(0, "x", [Pin(2, 0), Pin(2, 4), Pin(0, 2), Pin(4, 2)])
+    edges = manhattan_path_edges([(2, 0), (2, 1), (2, 2), (2, 3), (2, 4)])
+    edges += manhattan_path_edges([(0, 2), (1, 2), (2, 2), (3, 2), (4, 2)])
+    net.route_edges = edges
+    return net, build_topology(net)
+
+
+class TestJunctionQueries:
+    def test_cross_has_four_arms(self):
+        _, topo = cross_net()
+        assert topo.num_segments == 4
+
+    def test_segments_at_center(self):
+        _, topo = cross_net()
+        assert len(topo.segments_at((2, 2))) == 4
+
+    def test_junction_tiles_include_center_and_pins(self):
+        net, topo = cross_net()
+        tiles = topo.junction_tiles()
+        assert (2, 2) in tiles
+        for pin in net.pins:
+            assert pin.tile in tiles
+
+    def test_via_stack_num_cuts(self):
+        assert ViaStack((0, 0), 2, 5).num_cuts == 3
+
+    def test_center_via_spans_all_arm_layers(self):
+        _, topo = cross_net()
+        for seg in topo.segments:
+            seg.layer = 1 + seg.id  # layers 1..4 (directions ignored here)
+        stacks = {s.tile: s for s in topo.via_stacks()}
+        center = stacks[(2, 2)]
+        assert center.lower == 1
+        assert center.upper == 4
+
+    def test_sink_pins_excludes_source(self):
+        net, topo = cross_net()
+        sinks = topo.sink_pins(net.source)
+        assert len(sinks) == 3
+        assert net.source not in sinks
+
+
+class TestBenchmarkContainer:
+    def test_net_by_name(self, tiny_bench):
+        first = tiny_bench.nets[0]
+        assert tiny_bench.net_by_name(first.name) is first
+        with pytest.raises(KeyError):
+            tiny_bench.net_by_name("no-such-net")
+
+    def test_stack_property(self, tiny_bench):
+        assert tiny_bench.stack is tiny_bench.grid.stack
+        assert tiny_bench.num_nets == len(tiny_bench.nets)

@@ -1,0 +1,86 @@
+"""Tests for the utility layer."""
+
+import logging
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, WallClock, get_logger, make_rng
+from repro.utils.logging import configure_cli_logging
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed >= 0.004
+        assert t.elapsed != first or first == 0.0
+
+
+class TestWallClock:
+    def test_phases_accumulate(self):
+        clock = WallClock()
+        with clock.phase("a"):
+            pass
+        with clock.phase("a"):
+            pass
+        with clock.phase("b"):
+            pass
+        assert set(clock.totals) == {"a", "b"}
+        assert clock.total == pytest.approx(sum(clock.totals.values()))
+
+    def test_report_renders(self):
+        clock = WallClock()
+        clock.add("solve", 1.5)
+        text = clock.report()
+        assert "solve" in text and "total" in text
+
+    def test_empty_report(self):
+        assert "no phases" in WallClock().report()
+
+
+class TestRng:
+    def test_deterministic(self):
+        a = make_rng(7, "router", 3).random(5)
+        b = make_rng(7, "router", 3).random(5)
+        assert np.allclose(a, b)
+
+    def test_streams_independent(self):
+        a = make_rng(7, "router").random(5)
+        b = make_rng(7, "timing").random(5)
+        assert not np.allclose(a, b)
+
+    def test_string_seeds_stable(self):
+        a = make_rng("adaptec1").random(3)
+        b = make_rng("adaptec1").random(3)
+        assert np.allclose(a, b)
+
+    def test_none_seed_allowed(self):
+        assert make_rng(None).random() is not None
+
+    def test_bad_seed_type_rejected(self):
+        with pytest.raises(TypeError):
+            make_rng(3.14)
+
+
+class TestLogging:
+    def test_namespacing(self):
+        assert get_logger("core.engine").name == "repro.core.engine"
+        assert get_logger("repro.x").name == "repro.x"
+
+    def test_configure_idempotent(self):
+        configure_cli_logging()
+        configure_cli_logging()
+        root = logging.getLogger("repro")
+        handlers = [h for h in root.handlers if isinstance(h, logging.StreamHandler)]
+        assert len(handlers) == 1

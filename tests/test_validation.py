@@ -1,0 +1,68 @@
+"""Tests for the whole-solution validator — including that the optimizers
+leave no bookkeeping drift behind."""
+
+import pytest
+
+from repro.core.engine import CPLAConfig, CPLAEngine
+from repro.ispd.synthetic import generate
+from repro.pipeline import prepare
+from repro.route.validation import validate_solution
+from repro.tila.engine import TILAConfig, TILAEngine
+
+from tests.conftest import tiny_spec
+
+
+class TestValidator:
+    def test_clean_after_prepare(self, prepared_bench):
+        report = validate_solution(prepared_bench)
+        assert report.ok, report.summary()
+
+    def test_clean_after_cpla(self):
+        bench = prepare(generate(tiny_spec()))
+        CPLAEngine(
+            bench, CPLAConfig(method="sdp", critical_ratio=0.05, max_iterations=2)
+        ).run()
+        report = validate_solution(bench)
+        assert report.ok, report.summary()
+
+    def test_clean_after_tila(self):
+        bench = prepare(generate(tiny_spec()))
+        TILAEngine(bench, TILAConfig(critical_ratio=0.05)).run()
+        report = validate_solution(bench)
+        assert report.ok, report.summary()
+
+    def test_detects_usage_drift(self, prepared_bench):
+        # Corrupt the grid: add a phantom wire the nets don't own.
+        grid = prepared_bench.grid
+        layer = grid.stack.layers_of(
+            grid.stack.layer(1).direction
+        )[0]
+        grid.add_wire(("H", 0, 0) if grid.stack.direction_of(layer).value == "H" else ("V", 0, 0), layer)
+        report = validate_solution(prepared_bench)
+        assert not report.ok
+        assert any("drift" in e for e in report.errors)
+
+    def test_detects_illegal_direction(self, prepared_bench):
+        net = next(
+            n for n in prepared_bench.nets if n.topology and n.topology.segments
+        )
+        seg = net.topology.segments[0]
+        wrong = prepared_bench.stack.layers_of(seg.direction.other)[0]
+        seg.layer = wrong  # without re-committing: two errors expected
+        report = validate_solution(prepared_bench)
+        assert not report.ok
+
+    def test_detects_missing_topology(self, tiny_bench):
+        report = validate_solution(tiny_bench)
+        assert not report.ok
+        assert any("no topology" in e for e in report.errors)
+
+    def test_summary_renders(self, prepared_bench):
+        text = validate_solution(prepared_bench).summary()
+        assert "errors: 0" in text
+
+    def test_strict_capacity_mode(self, prepared_bench):
+        grid = prepared_bench.grid
+        report = validate_solution(prepared_bench, strict_capacity=True)
+        # The router/assigner produce overflow-free tiny instances.
+        assert report.ok or report.wire_overflows

@@ -1,0 +1,72 @@
+"""Tests for the optional via-capacitance extension of the timing model.
+
+The paper's delay model uses via resistance only (Eqn. 3); the engine also
+supports per-cut via capacitance (an extension hook), which loads the
+upstream segments like any other downstream capacitance.
+"""
+
+import pytest
+
+from repro.grid.graph import manhattan_path_edges
+from repro.grid.layers import Direction, Layer, LayerStack
+from repro.route.net import Net, Pin
+from repro.route.tree import build_topology
+from repro.timing.elmore import ElmoreEngine
+from repro.timing.rc import industrial_rc
+
+
+def stack_with_via_cap(via_cap: float) -> LayerStack:
+    rc = industrial_rc(4, via_cut_capacitance=via_cap)
+    direction = Direction.HORIZONTAL
+    layers = []
+    for i in range(4):
+        layers.append(
+            Layer(
+                index=i + 1,
+                direction=direction,
+                unit_resistance=rc.unit_resistance[i],
+                unit_capacitance=rc.unit_capacitance[i],
+                default_capacity=8.0,
+            )
+        )
+        direction = direction.other
+    return LayerStack(
+        layers=tuple(layers),
+        via_resistances=rc.via_resistance,
+        via_capacitances=rc.via_capacitance,
+    )
+
+
+def l_net():
+    net = Net(0, "l", [Pin(0, 0), Pin(2, 2, capacitance=2.0)])
+    net.route_edges = manhattan_path_edges([(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)])
+    topo = build_topology(net)
+    for seg in topo.segments:
+        seg.layer = 1 if seg.axis == "H" else 4
+    return net
+
+
+class TestViaCapacitance:
+    def test_rc_profile_carries_via_caps(self):
+        rc = industrial_rc(6, via_cut_capacitance=0.3)
+        assert all(c == 0.3 for c in rc.via_capacitance)
+
+    def test_stack_sums_cuts(self):
+        stack = stack_with_via_cap(0.5)
+        assert stack.via_capacitance_between(1, 4) == pytest.approx(1.5)
+        assert stack.via_capacitance_between(2, 2) == 0.0
+
+    def test_via_cap_loads_upstream_segment(self):
+        base = ElmoreEngine(stack_with_via_cap(0.0)).analyze(l_net())
+        loaded = ElmoreEngine(stack_with_via_cap(0.5)).analyze(l_net())
+        # The H segment drives the 1->4 via: its downstream cap grows by the
+        # stacked-via capacitance, so its delay grows too.
+        net = l_net()
+        h = next(s for s in net.topology.segments if s.axis == "H")
+        assert loaded.downstream_caps[h.id] > base.downstream_caps[h.id]
+        assert loaded.segment_delays[h.id] > base.segment_delays[h.id]
+
+    def test_zero_via_cap_matches_paper_model(self):
+        """Default profiles keep the paper's resistance-only via model."""
+        rc = industrial_rc(4)
+        assert all(c == 0.0 for c in rc.via_capacitance)
