@@ -37,7 +37,25 @@ def cached_compare(name: str, ratio: float = 0.005) -> ComparisonResult:
     key = (name, ratio, bench_scale())
     if key not in _cache:
         _cache[key] = compare(name, critical_ratio=ratio, scale=bench_scale())
+        write_phase_snapshot(name, ratio, _cache[key])
     return _cache[key]
+
+
+def write_phase_snapshot(name: str, ratio: float, result: ComparisonResult) -> Path:
+    """Record per-phase wall-clock (and any obs metrics) for each run.
+
+    Written next to the rendered tables so future perf PRs have a
+    per-phase baseline to diff against, not just end-to-end seconds.
+    """
+    sections = []
+    for report in (result.baseline, result.ours):
+        sections.append(
+            f"== {name} / {report.method} (ratio={ratio}, "
+            f"scale={bench_scale()}) ==\n" + report.observability_summary()
+        )
+    return write_result(
+        f"phases_{name}_r{ratio:g}.txt", "\n\n".join(sections)
+    )
 
 
 def write_result(filename: str, text: str) -> Path:

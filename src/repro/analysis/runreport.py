@@ -8,7 +8,7 @@ Both the CPLA engine (the paper's method) and the TILA baseline emit a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Any, Dict, List
 
 from repro.utils import WallClock
 
@@ -45,11 +45,43 @@ class RunReport:
     final_pin_delays: List[float] = field(default_factory=list)
     iterations: List[IterationStats] = field(default_factory=list)
     clock: WallClock = field(default_factory=WallClock)
+    # Phase totals measured *inside* process-pool workers (Jacobi mode).
+    # Kept separate from ``clock``: the worker seconds overlap the parent's
+    # ``solve`` wall time, so folding them in would double-count runtime.
+    worker_clock: WallClock = field(default_factory=WallClock)
+    # Snapshot of the observability metrics registry taken at the end of the
+    # run (empty unless metrics were enabled; see repro.obs).
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     @property
     def runtime(self) -> float:
         """Total optimizer wall-clock seconds (the CPU(s) column)."""
         return self.clock.total
+
+    def observability_summary(self) -> str:
+        """Phase totals, worker phase totals, and counter metrics as text."""
+        lines = ["phases:"]
+        lines.extend("  " + l for l in self.clock.report().splitlines())
+        if self.worker_clock.totals:
+            lines.append("worker phases (inside process pool):")
+            lines.extend("  " + l for l in self.worker_clock.report().splitlines())
+        counters = self.metrics.get("counters", {})
+        if counters:
+            width = max(len(k) for k in counters)
+            lines.append("counters:")
+            lines.extend(
+                f"  {name:<{width}}  {value:g}"
+                for name, value in sorted(counters.items())
+            )
+        gauges = self.metrics.get("gauges", {})
+        if gauges:
+            width = max(len(k) for k in gauges)
+            lines.append("gauges:")
+            lines.extend(
+                f"  {name:<{width}}  {value:g}"
+                for name, value in sorted(gauges.items())
+            )
+        return "\n".join(lines)
 
     @property
     def avg_improvement(self) -> float:

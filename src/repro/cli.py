@@ -35,6 +35,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("-v", "--verbose", action="store_true")
 
 
+def _add_observability(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="enable tracing and write spans as JSON-lines to PATH",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="enable metrics and write a Prometheus-style dump to PATH",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -57,6 +68,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--routes-out", default=None,
         help="write the optimized solution in ISPD'08 routing format",
     )
+    p_run.add_argument(
+        "--workers", type=int, default=0,
+        help="solve partition leaves in a process pool (sdp/ilp methods)",
+    )
+    _add_observability(p_run)
     _add_common(p_run)
 
     p_cmp = sub.add_parser("compare", help="TILA vs SDP on one benchmark")
@@ -101,8 +117,30 @@ def _cmd_gen(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.core.engine import CPLAConfig
+
+    # Fail on an unwritable output path now, not after the optimizer ran.
+    for path in (args.trace_out, args.metrics_out):
+        if path:
+            try:
+                with open(path, "a", encoding="utf-8"):
+                    pass
+            except OSError as exc:
+                print(f"cannot write {path}: {exc}", file=sys.stderr)
+                return 2
+    if args.trace_out:
+        obs.tracer.enable()
+    if args.metrics_out:
+        obs.metrics.enable()
+    cpla_config = None
+    if args.workers and args.method in ("sdp", "ilp"):
+        cpla_config = CPLAConfig(workers=args.workers)
     bench = prepare(args.benchmark, scale=args.scale)
-    report = run_method(bench, args.method, critical_ratio=args.ratio / 100.0)
+    report = run_method(
+        bench, args.method, critical_ratio=args.ratio / 100.0,
+        cpla_config=cpla_config,
+    )
     table = Table(["metric", "initial", "final"])
     table.add_row("Avg(Tcp)", report.initial_avg_tcp, report.final_avg_tcp)
     table.add_row("Max(Tcp)", report.initial_max_tcp, report.final_max_tcp)
@@ -112,6 +150,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"({len(report.critical_net_ids)} nets released)")
     print(table.render())
     print(f"runtime: {report.runtime:.2f}s")
+    if args.trace_out or args.metrics_out:
+        print()
+        print(report.observability_summary())
+    if args.trace_out:
+        count = obs.tracer.export_jsonl(args.trace_out)
+        print(f"wrote {count} spans to {args.trace_out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(obs.metrics.registry().render_prometheus())
+        print(f"wrote metrics to {args.metrics_out}")
     if args.routes_out:
         from repro.ispd.routes import write_routes
 

@@ -24,9 +24,11 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.runreport import IterationStats, RunReport
+from repro.obs import collect, metrics, tracer
 from repro.core.ilp import IlpConfig, IlpPartitionSolver
 from repro.core.mapping import CapacityLedger, post_map
 from repro.core.partition import self_adaptive_partition
@@ -46,6 +48,31 @@ from repro.utils import WallClock, get_logger
 log = get_logger(__name__)
 
 _REL_TOL = 1e-9
+
+# Per-leaf solve latency buckets (seconds) — leaves are small problems.
+_LEAF_BUCKETS = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 5.0)
+
+
+def _solve_leaf_task(solver, capture_telemetry, problem):
+    """One pool-worker leaf solve, with its telemetry in the payload.
+
+    Module-level (picklable) wrapper around ``solver.solve``.  The worker's
+    wall-clock phases are always measured and returned — without this every
+    second spent inside Jacobi-mode workers was invisible to the parent
+    report; spans/metrics ride along when observability is enabled.
+    """
+    if capture_telemetry:
+        tracer.enable()
+        metrics.enable()
+        collect.reset_worker_state()
+    clock = WallClock()
+    with clock.phase("solve"):
+        with tracer.span(
+            "engine.leaf", segments=problem.num_vars, worker=True
+        ):
+            result = solver.solve(problem)
+    telemetry = collect.capture_worker_telemetry(clock)
+    return result, telemetry
 
 
 def _is_improvement(
@@ -140,10 +167,20 @@ class CPLAEngine:
             self._solver = SdpPartitionSolver(self.config.sdp)
         else:
             self._solver = IlpPartitionSolver(self.config.ilp, grid=self.grid)
+        self._worker_clock = WallClock()
 
     # -- public API -------------------------------------------------------
 
     def run(self) -> CPLAReport:
+        with tracer.span(
+            "engine.run", benchmark=self.bench.name, method=self.config.method
+        ):
+            report = self._run()
+        if metrics.is_enabled():
+            report.metrics = metrics.registry().as_dict()
+        return report
+
+    def _run(self) -> CPLAReport:
         cfg = self.config
         report = RunReport(
             benchmark=self.bench.name,
@@ -151,6 +188,7 @@ class CPLAEngine:
             critical_ratio=cfg.critical_ratio,
         )
         clock = report.clock
+        self._worker_clock = report.worker_clock
 
         with clock.phase("timing"):
             critical, timings = self.selector.select(self.bench.nets, cfg.critical_ratio)
@@ -212,6 +250,9 @@ class CPLAEngine:
                     )
                 stats.accepted = improved
                 report.iterations.append(stats)
+                metrics.inc("engine.iterations")
+                if improved:
+                    metrics.inc("engine.iterations_accepted")
                 if improved:
                     best_obj = (stats.avg_tcp, stats.max_tcp)
                     best_layers = self._snapshot_layers(critical)
@@ -262,6 +303,21 @@ class CPLAEngine:
         segment_limit: Optional[int] = None,
         k_division: Optional[int] = None,
     ) -> IterationStats:
+        with tracer.span("engine.iteration", index=index):
+            return self._iterate_inner(
+                index, critical, clock, exponent, subset, segment_limit, k_division
+            )
+
+    def _iterate_inner(
+        self,
+        index: int,
+        critical: Sequence[Net],
+        clock: WallClock,
+        exponent: Optional[float] = None,
+        subset: Optional[Sequence[Net]] = None,
+        segment_limit: Optional[int] = None,
+        k_division: Optional[int] = None,
+    ) -> IterationStats:
         """One release -> partition -> solve -> map -> commit pass.
 
         ``subset`` restricts the nets actually re-optimized (the max phase
@@ -302,6 +358,7 @@ class CPLAEngine:
                     key=lambda leaf: -max(weights.get(k, 1.0) for k in leaf[1])
                 )
 
+        metrics.inc("engine.partitions", len(leaves))
         ledger = CapacityLedger(self.grid)
         reserved = self._reserve_protected_tracks(active, timings, ledger)
         if cfg.workers and cfg.workers > 1:
@@ -317,6 +374,7 @@ class CPLAEngine:
             for net in active:
                 commit_net(self.grid, net.topology)
 
+        metrics.inc("ledger.overflow_events", ledger.overflow_events)
         with clock.phase("timing"):
             new_timings = self.elmore.analyze_all(critical)
         avg, mx = critical_path_stats(new_timings, critical)
@@ -386,8 +444,11 @@ class CPLAEngine:
                     self.grid, self.elmore, nets_by_id, timings, keys,
                     self.config.via_penalty_weight, weights,
                 )
-            with clock.phase("solve"):
-                x_values, _ = self._solver.solve(problem)
+            with clock.phase("solve") as timer:
+                with tracer.span("engine.leaf", segments=problem.num_vars):
+                    x_values, _ = self._solver.solve(problem)
+            metrics.inc("engine.leaves")
+            metrics.observe("engine.leaf_solve_seconds", timer.elapsed, _LEAF_BUCKETS)
             self._map_and_apply(problem, x_values, ledger, reserved, nets_by_id, clock)
 
     def _solve_parallel(
@@ -401,10 +462,19 @@ class CPLAEngine:
                 )
                 for _, keys in leaves
             ]
+        capture = tracer.is_enabled() or metrics.is_enabled()
+        task = partial(_solve_leaf_task, self._solver, capture)
+        parent_span = tracer.current_span_id()
         with clock.phase("solve"):
             with ProcessPoolExecutor(max_workers=self.config.workers) as pool:
-                results = list(pool.map(self._solver.solve, problems))
-        for problem, (x_values, _) in zip(problems, results):
+                results = list(pool.map(task, problems))
+        for problem, ((x_values, _), telemetry) in zip(problems, results):
+            metrics.inc("engine.leaves")
+            leaf_seconds = telemetry.phases.get("solve", 0.0)
+            metrics.observe("engine.leaf_solve_seconds", leaf_seconds, _LEAF_BUCKETS)
+            collect.merge_worker_telemetry(
+                telemetry, self._worker_clock, parent_span
+            )
             self._map_and_apply(problem, x_values, ledger, reserved, nets_by_id, clock)
 
     def _map_and_apply(

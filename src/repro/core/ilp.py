@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.problem import PartitionProblem
 from repro.grid.graph import GridGraph, Tile
+from repro.obs import metrics, tracer
 from repro.solver.milp import MilpModel
 from repro.utils import get_logger
 
@@ -120,9 +121,14 @@ class IlpPartitionSolver:
             self._add_via_capacity_rows(model, problem, grid, xname, yname)
 
         model.set_objective(objective)
-        result = model.solve(time_limit=self.config.time_limit)
+        with tracer.span(
+            "solver.ilp", variables=model.num_variables, pairs=len(problem.pairs)
+        ):
+            result = model.solve(time_limit=self.config.time_limit)
+        metrics.inc("ilp.solves")
 
         if not result.ok:
+            metrics.inc("ilp.fallbacks")
             log.warning("ILP partition solve ended with status %s", result.status)
             # Fall back to the current assignment: one-hot on current layers.
             x_values = [
@@ -144,6 +150,7 @@ class IlpPartitionSolver:
             status=result.status,
             objective=result.objective,
         )
+        metrics.set_gauge("ilp.last_objective", result.objective)
         return x_values, info
 
     def _add_via_capacity_rows(

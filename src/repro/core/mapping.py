@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.grid.graph import Edge2D, GridGraph
 from repro.core.problem import PartitionProblem
+from repro.obs import metrics, tracer
 
 _EPS = 1e-9
 
@@ -92,15 +93,29 @@ def post_map(
     if len(x_values) != problem.num_vars:
         raise ValueError("x_values must align with problem.vars")
 
+    overflow_before = ledger.overflow_events
     chosen: Dict[int, int] = {}
-    if mode == "paper":
-        _map_paper(problem, x_values, ledger, chosen)
-    else:
-        _map_greedy(problem, x_values, ledger, chosen)
-    _fallback(problem, x_values, ledger, chosen)
-    layers = [chosen[i] for i in range(problem.num_vars)]
-    if refine_passes > 0:
-        _refine(problem, layers, ledger, refine_passes)
+    with tracer.span("postmap.map", vars=problem.num_vars, mode=mode):
+        if mode == "paper":
+            _map_paper(problem, x_values, ledger, chosen)
+        else:
+            _map_greedy(problem, x_values, ledger, chosen)
+        _fallback(problem, x_values, ledger, chosen)
+        layers = [chosen[i] for i in range(problem.num_vars)]
+        if refine_passes > 0:
+            _refine(problem, layers, ledger, refine_passes)
+    metrics.inc("postmap.calls")
+    metrics.inc("postmap.segments", problem.num_vars)
+    metrics.inc(
+        "postmap.overflow_assignments", ledger.overflow_events - overflow_before
+    )
+    metrics.inc(
+        "postmap.moved_segments",
+        sum(
+            1 for var, layer in zip(problem.vars, layers)
+            if layer != var.current_layer
+        ),
+    )
     return layers
 
 

@@ -29,6 +29,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.problem import PartitionProblem
+from repro.obs import metrics, tracer
 from repro.solver.sdp import ADMMSDPSolver, SDPProblem, SDPResult, SDPSettings
 from repro.utils import get_logger
 
@@ -139,7 +140,8 @@ class SdpPartitionSolver:
                 1.0,
             )
 
-        result: SDPResult = self._solver.solve(sdp)
+        with tracer.span("solver.sdp", order=n, constraints=sdp.num_constraints):
+            result: SDPResult = self._solver.solve(sdp)
         x_values = self._extract(problem, offsets, result.X)
         info = SdpSolveInfo(
             matrix_order=n,
@@ -148,6 +150,14 @@ class SdpPartitionSolver:
             converged=result.converged,
             objective=result.objective,
             mode=mode,
+        )
+        metrics.inc("sdp.solves")
+        metrics.inc("sdp.iterations", result.iterations)
+        if not result.converged:
+            metrics.inc("sdp.nonconverged")
+        metrics.set_gauge("sdp.last_objective", result.objective)
+        metrics.observe(
+            "sdp.matrix_order", n, buckets=(4, 8, 16, 32, 64, 128, 256)
         )
         return x_values, info
 

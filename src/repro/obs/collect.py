@@ -1,0 +1,83 @@
+"""Bring worker-process telemetry back into the parent.
+
+With ``workers > 1`` the engine solves leaves in a ``ProcessPoolExecutor``:
+every span, metric, and wall-clock phase recorded inside the worker lives
+in the *worker's* memory and dies with it unless shipped home.  The
+protocol is:
+
+1. the worker task starts with :func:`reset_worker_state` (a forked child
+   inherits the parent's buffers — they must not be re-exported);
+2. after solving, the worker returns :func:`capture_worker_telemetry` in
+   its payload — a picklable :class:`WorkerTelemetry`;
+3. the parent calls :func:`merge_worker_telemetry`, which extends the trace
+   buffer (re-parenting the worker's root spans under the parent span that
+   dispatched the task), folds metric snapshots into the parent registry,
+   and accumulates the worker's wall-clock phases into a caller-supplied
+   :class:`~repro.utils.WallClock` (kept separate from the parent clock —
+   worker seconds overlap the parent's ``solve`` phase wall time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs import metrics, tracer
+from repro.utils import WallClock
+
+
+@dataclass
+class WorkerTelemetry:
+    """Everything a pool worker measured while solving one task."""
+
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    phases: Dict[str, float] = field(default_factory=dict)
+
+
+def reset_worker_state() -> None:
+    """Clear inherited/leftover telemetry at the start of a worker task."""
+    tracer.reset()
+    metrics.registry().reset()
+
+
+def capture_worker_telemetry(clock: Optional[WallClock] = None) -> WorkerTelemetry:
+    """Drain this process's telemetry into a picklable payload.
+
+    ``clock`` phases are always captured (the worker-timing fix works even
+    with observability off); spans and metrics are drained only when their
+    subsystems are enabled, so the payload stays tiny on the default path.
+    """
+    return WorkerTelemetry(
+        spans=tracer.drain() if tracer.is_enabled() else [],
+        metrics=metrics.registry().as_dict() if metrics.is_enabled() else {},
+        phases=dict(clock.totals) if clock is not None else {},
+    )
+
+
+def merge_worker_telemetry(
+    telemetry: Optional[WorkerTelemetry],
+    worker_clock: Optional[WallClock] = None,
+    parent_span_id: Optional[str] = None,
+) -> None:
+    """Fold one worker payload into the parent-process stores.
+
+    Root spans of the worker (``parent is None``) are attached to
+    ``parent_span_id`` so the merged trace nests engine → leaf → solver
+    even across the process boundary.
+    """
+    if telemetry is None:
+        return
+    if telemetry.spans:
+        spans = telemetry.spans
+        if parent_span_id is not None:
+            spans = [
+                {**s, "parent": parent_span_id} if s.get("parent") is None else s
+                for s in spans
+            ]
+        tracer.extend(spans)
+    if telemetry.metrics:
+        metrics.registry().merge_dict(telemetry.metrics)
+    if worker_clock is not None:
+        for name, seconds in telemetry.phases.items():
+            worker_clock.add(name, seconds)

@@ -1,0 +1,226 @@
+"""Process-wide counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` holds three namespaces:
+
+- **counters** — monotonically increasing totals (``inc``);
+- **gauges** — last-written values (``set_gauge``);
+- **histograms** — fixed upper-bound buckets (``observe``); bucket counts
+  are stored per-bucket and rendered cumulatively in the Prometheus text
+  format, Prometheus ``le`` semantics (value counted in the first bucket
+  whose bound is ``>= value``).
+
+Instrumented code uses the module-level helpers (:func:`inc`,
+:func:`set_gauge`, :func:`observe`) against the default registry; they are
+guarded by a module flag so the disabled path is one global check with no
+allocation.  Metric names are dotted (``sdp.iterations``); the Prometheus
+rendering sanitizes them to ``repro_sdp_iterations``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+# Generic latency-ish buckets (seconds) used when observe() is called
+# without an explicit bucket spec.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+_enabled = False
+
+
+def enable() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn metrics off and clear the default registry."""
+    global _enabled
+    _enabled = False
+    registry().reset()
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+class Histogram:
+    """Fixed-bucket histogram: per-bucket counts plus sum/count."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = bounds
+        # one slot per finite bound plus the +Inf overflow slot
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> List[int]:
+        """Counts per ``le`` bound, Prometheus-style (last one == count)."""
+        out = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe container of named counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.merge_conflicts = 0
+
+    # -- writes -----------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self.gauges[name] = float(value)
+
+    def observe(
+        self, name: str, value: float, buckets: Optional[Sequence[float]] = None
+    ) -> None:
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram(buckets or DEFAULT_BUCKETS)
+            hist.observe(value)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
+            self.merge_conflicts = 0
+
+    # -- export -----------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """Plain-dict snapshot (the ``RunReport`` / worker-payload form)."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {
+                    name: hist.as_dict() for name, hist in self.histograms.items()
+                },
+            }
+
+    def merge_dict(self, data: Dict[str, Dict[str, object]]) -> None:
+        """Fold a snapshot produced by :meth:`as_dict` into this registry.
+
+        Counters and histogram buckets add; gauges are last-write-wins.  A
+        histogram whose bucket bounds disagree with the local one is
+        dropped and counted in :attr:`merge_conflicts`.
+        """
+        with self._lock:
+            for name, value in data.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0.0) + value
+            for name, value in data.get("gauges", {}).items():
+                self.gauges[name] = value
+            for name, payload in data.get("histograms", {}).items():
+                bounds = tuple(payload["buckets"])
+                hist = self.histograms.get(name)
+                if hist is None:
+                    hist = self.histograms[name] = Histogram(bounds)
+                elif hist.buckets != bounds:
+                    self.merge_conflicts += 1
+                    continue
+                for i, c in enumerate(payload["counts"]):
+                    hist.counts[i] += c
+                hist.sum += payload["sum"]
+                hist.count += payload["count"]
+
+    def render_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus text exposition of every metric in the registry."""
+        lines: List[str] = []
+        with self._lock:
+            for name in sorted(self.counters):
+                metric = _sanitize(prefix, name) + "_total"
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric} {_fmt(self.counters[name])}")
+            for name in sorted(self.gauges):
+                metric = _sanitize(prefix, name)
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {_fmt(self.gauges[name])}")
+            for name in sorted(self.histograms):
+                hist = self.histograms[name]
+                metric = _sanitize(prefix, name)
+                lines.append(f"# TYPE {metric} histogram")
+                cumulative = hist.cumulative()
+                for bound, c in zip(hist.buckets, cumulative):
+                    lines.append(f'{metric}_bucket{{le="{_fmt(bound)}"}} {c}')
+                lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative[-1]}')
+                lines.append(f"{metric}_sum {_fmt(hist.sum)}")
+                lines.append(f"{metric}_count {hist.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _sanitize(prefix: str, name: str) -> str:
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"{prefix}_{safe}"
+
+
+def _fmt(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+_default = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _default
+
+
+# -- guarded module-level helpers (the instrumentation API) ----------------
+
+
+def inc(name: str, value: float = 1.0) -> None:
+    if _enabled:
+        _default.inc(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    if _enabled:
+        _default.set_gauge(name, value)
+
+
+def observe(
+    name: str, value: float, buckets: Optional[Sequence[float]] = None
+) -> None:
+    if _enabled:
+        _default.observe(name, value, buckets)

@@ -1,0 +1,167 @@
+"""Nestable tracing spans with an in-memory buffer and JSON-lines export.
+
+A span records ``(id, parent, name, attrs, start, end, pid)``.  Nesting is
+tracked per thread: entering a span pushes it on a thread-local stack, so a
+span opened while another is active records that span as its parent.  Span
+ids embed the process id (``"<pid>:<seq>"``), which makes ids from
+``ProcessPoolExecutor`` workers collision-free when their buffers are merged
+back into the parent (:mod:`repro.obs.collect`).
+
+Tracing is disabled by default.  The disabled :func:`span` call is a single
+module-global check returning a shared no-op context manager — no span
+object is allocated — so call sites may stay in hot loops permanently.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+_enabled = False
+_lock = threading.Lock()
+_buffer: List[Dict[str, Any]] = []
+_seq = itertools.count(1)
+_local = threading.local()
+
+
+def enable() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn tracing off and clear the buffer and nesting state."""
+    global _enabled
+    _enabled = False
+    reset()
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def reset() -> None:
+    """Clear the span buffer and the thread's nesting stack.
+
+    Also the first thing a forked pool worker does before capturing: with
+    the ``fork`` start method the child inherits the parent's buffer, and
+    without a reset the parent's spans would be returned (duplicated) in
+    the worker payload.
+    """
+    global _seq
+    with _lock:
+        _buffer.clear()
+    _seq = itertools.count(1)
+    _local.stack = []
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+class Span:
+    """One live span; records itself into the buffer on exit."""
+
+    __slots__ = ("id", "parent", "name", "attrs", "start", "end")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.id = f"{os.getpid()}:{next(_seq)}"
+        self.parent: Optional[str] = None
+        self.start = 0.0
+        self.end = 0.0
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        stack = getattr(_local, "stack", None)
+        if stack is None:
+            stack = _local.stack = []
+        if stack:
+            self.parent = stack[-1].id
+        stack.append(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.end = time.perf_counter()
+        stack = getattr(_local, "stack", [])
+        if stack and stack[-1] is self:
+            stack.pop()
+        record = {
+            "id": self.id,
+            "parent": self.parent,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "dur": self.end - self.start,
+            "pid": os.getpid(),
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        with _lock:
+            _buffer.append(record)
+        return False
+
+
+def span(name: str, **attrs: Any):
+    """Open a span (context manager); a shared no-op when disabled."""
+    if not _enabled:
+        return _NOOP
+    return Span(name, attrs)
+
+
+def current_span_id() -> Optional[str]:
+    """Id of the innermost active span on this thread, if any."""
+    stack = getattr(_local, "stack", None)
+    return stack[-1].id if stack else None
+
+
+def snapshot() -> List[Dict[str, Any]]:
+    """A copy of the recorded spans (completion order)."""
+    with _lock:
+        return list(_buffer)
+
+
+def drain() -> List[Dict[str, Any]]:
+    """Return the recorded spans and clear the buffer."""
+    with _lock:
+        out = list(_buffer)
+        _buffer.clear()
+    return out
+
+
+def extend(spans: List[Dict[str, Any]]) -> None:
+    """Append externally captured span records (worker merge)."""
+    with _lock:
+        _buffer.extend(spans)
+
+
+def export_jsonl(path: str) -> int:
+    """Write the buffer as JSON-lines; returns the number of spans."""
+    spans = snapshot()
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in spans:
+            fh.write(json.dumps(record, sort_keys=True, default=str))
+            fh.write("\n")
+    return len(spans)

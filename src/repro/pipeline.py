@@ -15,6 +15,7 @@ from typing import Optional, Union
 from repro.analysis.runreport import RunReport
 from repro.core.engine import CPLAConfig, CPLAEngine
 from repro.ispd.benchmark import Benchmark
+from repro.obs import metrics, tracer
 from repro.ispd.suite import load_benchmark
 from repro.route.assignment import AssignerConfig, InitialAssigner
 from repro.route.router import GlobalRouter, RouterConfig
@@ -42,11 +43,15 @@ def prepare(
         if isinstance(benchmark, str)
         else benchmark
     )
-    router = GlobalRouter(bench.grid, router_config)
-    router.route(bench.nets)
-    for net in bench.nets:
-        build_topology(net)
-    InitialAssigner(bench.grid, assigner_config).assign(bench.nets)
+    with tracer.span("pipeline.prepare", benchmark=bench.name, nets=len(bench.nets)):
+        router = GlobalRouter(bench.grid, router_config)
+        router.route(bench.nets)
+        with tracer.span("pipeline.build_topology"):
+            for net in bench.nets:
+                build_topology(net)
+        with tracer.span("pipeline.initial_assign"):
+            InitialAssigner(bench.grid, assigner_config).assign(bench.nets)
+    metrics.inc("pipeline.prepares")
     log.debug(
         "%s prepared: %d nets, %d vias, wire overflow %d",
         bench.name, len(bench.nets), bench.grid.total_vias(),
@@ -69,17 +74,19 @@ def run_method(
     The engines mutate the benchmark in place (they are incremental), so
     comparisons should :func:`prepare` a fresh instance per method.
     """
-    if method in ("sdp", "ilp"):
-        config = cpla_config or CPLAConfig()
-        config.method = method
-        config.critical_ratio = critical_ratio
-        return CPLAEngine(bench, config, timing_config).run()
-    if method in ("tila", "tila+flow"):
-        config = tila_config or TILAConfig()
-        config.engine = "dp" if method == "tila" else "dp+flow"
-        config.critical_ratio = critical_ratio
-        return TILAEngine(bench, config, timing_config).run()
-    raise ValueError(f"unknown method {method!r}")
+    metrics.inc("pipeline.runs")
+    with tracer.span("pipeline.run_method", benchmark=bench.name, method=method):
+        if method in ("sdp", "ilp"):
+            config = cpla_config or CPLAConfig()
+            config.method = method
+            config.critical_ratio = critical_ratio
+            return CPLAEngine(bench, config, timing_config).run()
+        if method in ("tila", "tila+flow"):
+            config = tila_config or TILAConfig()
+            config.engine = "dp" if method == "tila" else "dp+flow"
+            config.critical_ratio = critical_ratio
+            return TILAEngine(bench, config, timing_config).run()
+        raise ValueError(f"unknown method {method!r}")
 
 
 @dataclass

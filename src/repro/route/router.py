@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.grid.graph import Edge2D, GridGraph, Tile, edge_between, edge_endpoints
 from repro.grid.layers import Direction
+from repro.obs import metrics, tracer
 from repro.route.net import Net
 from repro.route.steiner import steiner_tree_edges
 from repro.utils import get_logger
@@ -228,10 +229,17 @@ class GlobalRouter:
         Local (single-tile) nets get an empty edge list.  Multi-round
         negotiation reroutes nets that cross overflowed edges.
         """
+        with tracer.span("router.route", nets=len(nets)):
+            self._route(nets)
+        metrics.inc("router.nets_routed", len(nets))
+        metrics.set_gauge("router.final_overflow", self.total_overflow())
+
+    def _route(self, nets: Sequence[Net]) -> None:
         order = sorted(nets, key=lambda n: (n.hpwl(), n.num_pins, n.id))
-        for net in order:
-            net.route_edges = self._route_net_pattern(net)
-            self._occupy(net.route_edges, +1)
+        with tracer.span("router.pattern_route"):
+            for net in order:
+                net.route_edges = self._route_net_pattern(net)
+                self._occupy(net.route_edges, +1)
 
         for round_idx in range(1, self.config.rounds):
             over = self.overflowed_edges()
@@ -245,10 +253,15 @@ class GlobalRouter:
                 "negotiation round %d: overflow=%d, rerouting %d nets",
                 round_idx, self.total_overflow(), len(victims),
             )
-            for net in victims:
-                self._occupy(net.route_edges, -1)
-                net.route_edges = self._maze_route_net(net)
-                self._occupy(net.route_edges, +1)
+            metrics.inc("router.negotiation_rounds")
+            metrics.inc("router.nets_rerouted", len(victims))
+            with tracer.span(
+                "router.negotiate", round=round_idx, victims=len(victims)
+            ):
+                for net in victims:
+                    self._occupy(net.route_edges, -1)
+                    net.route_edges = self._maze_route_net(net)
+                    self._occupy(net.route_edges, +1)
 
 
 def _extract_tree(

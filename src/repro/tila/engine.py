@@ -23,6 +23,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.runreport import IterationStats, RunReport
 from repro.ispd.benchmark import Benchmark
+from repro.obs import metrics, tracer
 from repro.route.net import Net
 from repro.route.occupancy import commit_net, release_net
 from repro.timing.critical import (
@@ -80,6 +81,15 @@ class TILAEngine:
     # -- public API ----------------------------------------------------------
 
     def run(self) -> RunReport:
+        with tracer.span(
+            "engine.run", benchmark=self.bench.name, method=self.config.engine
+        ):
+            report = self._run()
+        if metrics.is_enabled():
+            report.metrics = metrics.registry().as_dict()
+        return report
+
+    def _run(self) -> RunReport:
         cfg = self.config
         report = RunReport(
             benchmark=self.bench.name,
@@ -106,12 +116,14 @@ class TILAEngine:
         stall = 0
 
         for it in range(cfg.max_iterations):
+            metrics.inc("tila.iterations")
             with clock.phase("timing"):
                 net_timings = self.elmore.analyze_all(critical)
 
-            with clock.phase("assign"):
+            with clock.phase("assign"), tracer.span("tila.assign", index=it):
                 for net in critical:
                     self._assign_net(net, net_timings[net.id], multipliers)
+                metrics.inc("tila.nets_assigned", len(critical))
 
             if cfg.engine == "dp+flow":
                 with clock.phase("flow"):

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.grid.layers import LayerStack
+from repro.obs import metrics, tracer
 from repro.route.net import Net, Pin
 from repro.route.tree import NetTopology
 
@@ -216,7 +217,11 @@ class ElmoreEngine:
         return timing
 
     def analyze_all(self, nets) -> Dict[int, NetTiming]:
-        return {net.id: self.analyze(net) for net in nets}
+        with tracer.span("timing.analyze_all", nets=len(nets)):
+            result = {net.id: self.analyze(net) for net in nets}
+        metrics.inc("elmore.refreshes")
+        metrics.inc("elmore.nets_analyzed", len(nets))
+        return result
 
     # -- helpers ---------------------------------------------------------------
 
