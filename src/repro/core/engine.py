@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from functools import partial
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.runreport import IterationStats, RunReport
@@ -54,17 +53,15 @@ _LEAF_BUCKETS = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 5.0)
 
 
 def _solve_leaf_task(solver, capture_telemetry, problem):
-    """One pool-worker leaf solve, with its telemetry in the payload.
+    """One leaf solve with its telemetry in the payload.
 
-    Module-level (picklable) wrapper around ``solver.solve``.  The worker's
-    wall-clock phases are always measured and returned — without this every
-    second spent inside Jacobi-mode workers was invisible to the parent
-    report; spans/metrics ride along when observability is enabled.
+    The worker's wall-clock phases are always measured and returned —
+    without this every second spent inside Jacobi-mode workers was
+    invisible to the parent report; spans/metrics ride along when
+    observability is enabled.
     """
     if capture_telemetry:
-        tracer.enable()
-        metrics.enable()
-        collect.reset_worker_state()
+        collect.init_worker_observability(tracing=True, metric_counts=True)
     clock = WallClock()
     with clock.phase("solve"):
         with tracer.span(
@@ -73,6 +70,82 @@ def _solve_leaf_task(solver, capture_telemetry, problem):
             result = solver.solve(problem)
     telemetry = collect.capture_worker_telemetry(clock)
     return result, telemetry
+
+
+# Worker-process state installed once by the pool initializer, so each task
+# ships only its problem — not a fresh pickle of the whole solver.
+_POOL_SOLVER = None
+_POOL_CAPTURE = False
+
+
+def _pool_initializer(solver, capture_telemetry) -> None:
+    """Runs once in every worker of the persistent leaf-solve pool."""
+    global _POOL_SOLVER, _POOL_CAPTURE
+    _POOL_SOLVER = solver
+    _POOL_CAPTURE = capture_telemetry
+
+
+def _solve_pooled_leaf(problem):
+    """Pool-task entry point: solve one leaf with the worker-resident solver."""
+    return _solve_leaf_task(_POOL_SOLVER, _POOL_CAPTURE, problem)
+
+
+class LeafSolvePool:
+    """Lifecycle manager of the persistent leaf-solve process pool.
+
+    The previous implementation built a fresh ``ProcessPoolExecutor`` for
+    every Jacobi pass and re-pickled the solver with every task.  This
+    manager creates the pool once per engine run (lazily, on the first
+    parallel solve), ships the solver to each worker through the pool
+    initializer, and chunks leaf submissions.  Worker-resident solvers keep
+    their warm-start caches across engine iterations — pool persistence is
+    what makes SDP warm starting effective in parallel mode.
+
+    Any pool failure (creation, task pickling, a died worker) permanently
+    downgrades the run: :meth:`map` returns ``None``, the caller solves
+    sequentially, and the failure is logged and counted in the
+    ``engine.pool_failures`` metric.
+    """
+
+    def __init__(self, workers: int, solver) -> None:
+        self.workers = workers
+        self._solver = solver
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._broken = False
+
+    def map(self, problems) -> Optional[list]:
+        """Solve the leaf problems in the pool; ``None`` means "do it yourself"."""
+        if self._broken or not problems:
+            return None if self._broken else []
+        try:
+            if self._pool is None:
+                capture = tracer.is_enabled() or metrics.is_enabled()
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_pool_initializer,
+                    initargs=(self._solver, capture),
+                )
+            chunksize = max(1, len(problems) // (self.workers * 4))
+            return list(
+                self._pool.map(_solve_pooled_leaf, problems, chunksize=chunksize)
+            )
+        except Exception as exc:
+            log.warning(
+                "leaf-solve pool failed (%s: %s); continuing with sequential solves",
+                type(exc).__name__, exc,
+            )
+            metrics.inc("engine.pool_failures")
+            self._broken = True
+            self.shutdown()
+            return None
+
+    def shutdown(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=True, cancel_futures=True)
+            except Exception:  # pragma: no cover - best-effort teardown
+                log.debug("pool shutdown failed", exc_info=True)
 
 
 def _is_improvement(
@@ -168,14 +241,20 @@ class CPLAEngine:
         else:
             self._solver = IlpPartitionSolver(self.config.ilp, grid=self.grid)
         self._worker_clock = WallClock()
+        self._pool: Optional[LeafSolvePool] = None
 
     # -- public API -------------------------------------------------------
 
     def run(self) -> CPLAReport:
-        with tracer.span(
-            "engine.run", benchmark=self.bench.name, method=self.config.method
-        ):
-            report = self._run()
+        try:
+            with tracer.span(
+                "engine.run", benchmark=self.bench.name, method=self.config.method
+            ):
+                report = self._run()
+        finally:
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
         if metrics.is_enabled():
             report.metrics = metrics.registry().as_dict()
         return report
@@ -462,12 +541,17 @@ class CPLAEngine:
                 )
                 for _, keys in leaves
             ]
-        capture = tracer.is_enabled() or metrics.is_enabled()
-        task = partial(_solve_leaf_task, self._solver, capture)
+        if self._pool is None:
+            self._pool = LeafSolvePool(self.config.workers, self._solver)
         parent_span = tracer.current_span_id()
         with clock.phase("solve"):
-            with ProcessPoolExecutor(max_workers=self.config.workers) as pool:
-                results = list(pool.map(task, problems))
+            results = self._pool.map(problems)
+        if results is None:
+            # Pool failed (logged + counted by LeafSolvePool): solve the
+            # already-extracted problems inline from the same snapshot —
+            # identical Jacobi semantics, just without the parallelism.
+            self._solve_fallback(problems, nets_by_id, ledger, reserved, clock)
+            return
         for problem, ((x_values, _), telemetry) in zip(problems, results):
             metrics.inc("engine.leaves")
             leaf_seconds = telemetry.phases.get("solve", 0.0)
@@ -475,6 +559,18 @@ class CPLAEngine:
             collect.merge_worker_telemetry(
                 telemetry, self._worker_clock, parent_span
             )
+            self._map_and_apply(problem, x_values, ledger, reserved, nets_by_id, clock)
+
+    def _solve_fallback(
+        self, problems, nets_by_id, ledger, reserved, clock
+    ) -> None:
+        """Sequentially solve already-extracted problems after a pool failure."""
+        for problem in problems:
+            with clock.phase("solve") as timer:
+                with tracer.span("engine.leaf", segments=problem.num_vars):
+                    x_values, _ = self._solver.solve(problem)
+            metrics.inc("engine.leaves")
+            metrics.observe("engine.leaf_solve_seconds", timer.elapsed, _LEAF_BUCKETS)
             self._map_and_apply(problem, x_values, ledger, reserved, nets_by_id, clock)
 
     def _map_and_apply(
@@ -496,6 +592,9 @@ class CPLAEngine:
         for var, layer in zip(problem.vars, layers):
             net_id, sid = var.key
             nets_by_id[net_id].topology.segments[sid].layer = layer
+        # The timing cache's layer fingerprints would catch this anyway, but
+        # explicit dirty-marking keeps stale NetTiming objects from lingering.
+        self.elmore.mark_dirty({var.key[0] for var in problem.vars})
 
     # -- ILP-specific hook ------------------------------------------------------
 
@@ -515,3 +614,4 @@ class CPLAEngine:
             for seg in net.topology.segments:
                 seg.layer = layers[(net.id, seg.id)]
             commit_net(self.grid, net.topology)
+        self.elmore.mark_dirty(net.id for net in critical)

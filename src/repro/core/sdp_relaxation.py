@@ -24,7 +24,7 @@ The relaxed diagonal is what the post-mapper consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -41,6 +41,13 @@ class SdpRelaxationConfig:
     """Options of the SDP-based partition solver."""
 
     constraint_mode: str = "slack"  # "slack", "penalty", or "auto"
+    # Reuse the relaxed X of the previous solve of the *same partition*
+    # (same segment-variable set) as the ADMM starting point.  The engine
+    # re-solves the same leaves every outer iteration with slightly shifted
+    # costs, so the previous optimum is a near-feasible start; a solve whose
+    # matrix order changed (capacity slacks appear/disappear) falls back to
+    # a cold start via the same-shape check.
+    warm_start: bool = True
     slack_constraint_limit: int = 48  # "auto": switch to penalty above this
     capacity_penalty_weight: float = 2.0
     # (4g) linking rows  y >= x_ij + x_pq - 1  keep the relaxation honest
@@ -78,11 +85,19 @@ class SdpSolveInfo:
 
 
 class SdpPartitionSolver:
-    """Solves a :class:`PartitionProblem` through the SDP relaxation."""
+    """Solves a :class:`PartitionProblem` through the SDP relaxation.
+
+    The solver instance is long-lived (one per engine run; shipped once per
+    worker in pool mode) and keeps the relaxed ``X`` of every partition it
+    solved, keyed by the partition's variable signature, to warm-start the
+    next solve of that same partition.
+    """
 
     def __init__(self, config: Optional[SdpRelaxationConfig] = None) -> None:
         self.config = config or SdpRelaxationConfig()
         self._solver = ADMMSDPSolver(self.config.settings)
+        # partition signature -> relaxed X of the last solve
+        self._warm: Dict[Tuple, np.ndarray] = {}
 
     def solve(self, problem: PartitionProblem) -> Tuple[List[np.ndarray], SdpSolveInfo]:
         """Return per-variable fractional layer weights plus diagnostics."""
@@ -140,8 +155,22 @@ class SdpPartitionSolver:
                 1.0,
             )
 
-        with tracer.span("solver.sdp", order=n, constraints=sdp.num_constraints):
-            result: SDPResult = self._solver.solve(sdp)
+        signature = tuple(var.key for var in problem.vars)
+        warm = self._warm.get(signature) if self.config.warm_start else None
+        if warm is not None and warm.shape != (n, n):
+            # Matrix order changed (slack/linking rows differ): cold start.
+            warm = None
+        with tracer.span(
+            "solver.sdp",
+            order=n,
+            constraints=sdp.num_constraints,
+            warm=warm is not None,
+        ):
+            result: SDPResult = self._solver.solve(sdp, warm_start=warm)
+        if self.config.warm_start:
+            self._warm[signature] = result.X
+            if warm is not None:
+                metrics.inc("sdp.warm_starts")
         x_values = self._extract(problem, offsets, result.X)
         info = SdpSolveInfo(
             matrix_order=n,

@@ -41,6 +41,24 @@ def reset_worker_state() -> None:
     metrics.registry().reset()
 
 
+def init_worker_observability(
+    tracing: bool = False, metric_counts: bool = False
+) -> None:
+    """Arm observability inside a worker process for one task.
+
+    Enables the requested subsystems (idempotent) and clears any state a
+    forked child inherited from the parent or a previous task of the same
+    long-lived worker — persistent pools reuse workers across tasks, so
+    without the reset each task would re-export its predecessors'
+    spans/metrics on top of its own.
+    """
+    if tracing:
+        tracer.enable()
+    if metric_counts:
+        metrics.enable()
+    reset_worker_state()
+
+
 def capture_worker_telemetry(clock: Optional[WallClock] = None) -> WorkerTelemetry:
     """Drain this process's telemetry into a picklable payload.
 

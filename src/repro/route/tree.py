@@ -66,6 +66,12 @@ class NetTopology:
     parent_tile: Dict[int, Tile] = field(default_factory=dict)
     child_tile: Dict[int, Tile] = field(default_factory=dict)
     pins_at: Dict[Tile, List[Pin]] = field(default_factory=dict)
+    # Lazily-built tile -> carrier-segment index (see carrier_segment()).
+    # The tree is structurally immutable once built — only segment *layers*
+    # change afterwards — so the index never needs invalidation.
+    _carrier_index: Optional[Dict[Tile, Optional[int]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -- structure queries -------------------------------------------------
 
@@ -101,6 +107,27 @@ class NetTopology:
             cur = self.parent[cur]
         path.reverse()
         return path
+
+    def carrier_segment(self, tile: Tile) -> Optional[int]:
+        """The segment whose child endpoint delivers the signal to ``tile``.
+
+        Pin tiles are always breakpoints, hence segment endpoints; a tile
+        that is only a parent-side endpoint (shouldn't happen for sinks)
+        resolves to that segment's parent, and unknown tiles to ``None`` —
+        the same answers the previous O(segments) scan produced, served from
+        a one-time index (the Elmore engine asks once per sink per analyze).
+        """
+        index = self._carrier_index
+        if index is None:
+            index = {}
+            fallback: Dict[Tile, Optional[int]] = {}
+            for sid in range(len(self.segments)):
+                index.setdefault(self.child_tile[sid], sid)
+                fallback.setdefault(self.parent_tile[sid], self.parent[sid])
+            for tile_, carrier in fallback.items():
+                index.setdefault(tile_, carrier)
+            self._carrier_index = index
+        return index.get(tile)
 
     def segments_at(self, tile: Tile) -> List[int]:
         """Segments having ``tile`` as one of their endpoints."""

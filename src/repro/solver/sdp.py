@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 import scipy.linalg as sla
 
-from repro.solver.psd import entry_svec_index, project_psd, smat, svec, svec_dim
+from repro.solver.psd import SymmetricOps, entry_svec_index, smat, svec, svec_dim
 from repro.utils import get_logger
 
 log = get_logger(__name__)
@@ -89,6 +89,9 @@ class SDPProblem:
             raise ValueError(f"cost must be {self.n}x{self.n}")
         if not np.allclose(self.cost, self.cost.T, atol=1e-12):
             raise ValueError("cost matrix must be symmetric")
+        # Dense (A, b) cache — the affine projection and every violation()
+        # call want the same assembled view; rebuilt only after new rows.
+        self._dense: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # -- constraint construction -----------------------------------------
 
@@ -102,6 +105,7 @@ class SDPProblem:
         row = {int(i): float(v) for i, v in enumerate(row_vec) if v != 0.0}
         self._rows.append(row)
         self._values.append(float(value))
+        self._dense = None
 
     def add_entry_constraint(
         self, entries: Sequence[Tuple[int, int]], coefficients: Sequence[float], value: float
@@ -121,6 +125,7 @@ class SDPProblem:
             row[idx] = row.get(idx, 0.0) + float(coeff) * scale
         self._rows.append(row)
         self._values.append(float(value))
+        self._dense = None
 
     def set_box(self, lower: float, upper: float) -> None:
         """Bound every matrix entry elementwise (CPLA uses [0, 1])."""
@@ -137,13 +142,15 @@ class SDPProblem:
     # -- assembled views -----------------------------------------------------
 
     def constraint_matrix(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Dense (A, b) in svec coordinates."""
-        d = svec_dim(self.n)
-        A = np.zeros((len(self._rows), d))
-        for k, row in enumerate(self._rows):
-            for idx, coeff in row.items():
-                A[k, idx] = coeff
-        return A, np.asarray(self._values, dtype=np.float64)
+        """Dense (A, b) in svec coordinates (cached until rows change)."""
+        if self._dense is None:
+            d = svec_dim(self.n)
+            A = np.zeros((len(self._rows), d))
+            for k, row in enumerate(self._rows):
+                for idx, coeff in row.items():
+                    A[k, idx] = coeff
+            self._dense = (A, np.asarray(self._values, dtype=np.float64))
+        return self._dense
 
     def violation(self, X: np.ndarray) -> float:
         """Max absolute equality-constraint violation at ``X``."""
@@ -154,10 +161,24 @@ class SDPProblem:
 
 
 class ADMMSDPSolver:
-    """Consensus-ADMM solver for :class:`SDPProblem` instances."""
+    """Consensus-ADMM solver for :class:`SDPProblem` instances.
+
+    The solver is stateless with respect to problems but keeps a
+    :class:`~repro.solver.psd.SymmetricOps` workspace per matrix order —
+    partition leaves of the same size (the common case across engine
+    iterations) reuse the index arrays and eigendecomposition sizing
+    instead of re-deriving them on every projection.
+    """
 
     def __init__(self, settings: Optional[SDPSettings] = None) -> None:
         self.settings = settings or SDPSettings()
+        self._ops: Dict[int, SymmetricOps] = {}
+
+    def _ops_for(self, n: int) -> SymmetricOps:
+        ops = self._ops.get(n)
+        if ops is None:
+            ops = self._ops[n] = SymmetricOps(n)
+        return ops
 
     def solve(
         self, problem: SDPProblem, warm_start: Optional[np.ndarray] = None
@@ -165,12 +186,13 @@ class ADMMSDPSolver:
         cfg = self.settings
         n = problem.n
         d = svec_dim(n)
-        c = svec(problem.cost)
+        ops = self._ops_for(n)
+        c = ops.svec(problem.cost)
         # Normalizing the cost keeps rho meaningful across instances.
         c_scale = float(np.linalg.norm(c))
         c_hat = c / c_scale if c_scale > 0 else c
 
-        projections = [self._make_psd_projection(n)]
+        projections = [ops.project_psd_svec]
         if problem.num_constraints:
             projections.append(self._make_affine_projection(problem, d))
         box = self._make_box_projection(problem, n)
@@ -224,13 +246,6 @@ class ADMMSDPSolver:
         return result
 
     # -- projections ------------------------------------------------------
-
-    @staticmethod
-    def _make_psd_projection(n: int):
-        def proj(v: np.ndarray) -> np.ndarray:
-            return svec(project_psd(smat(v, n)))
-
-        return proj
 
     @staticmethod
     def _make_affine_projection(problem: SDPProblem, d: int):

@@ -84,24 +84,44 @@ def _segment_feeding_tile(topo: NetTopology, tile) -> Optional[int]:
     """The segment whose child endpoint delivers the signal to ``tile``."""
     if tile == topo.root_tile:
         return None
-    for sid in range(len(topo.segments)):
-        if topo.child_tile[sid] == tile:
-            return sid
-    # Pin tiles are always breakpoints, hence segment endpoints; reaching
-    # here means the tile is a parent-side endpoint only (shouldn't happen
-    # for sinks) or the net is local.
-    for sid in range(len(topo.segments)):
-        if topo.parent_tile[sid] == tile:
-            return topo.parent[sid]
-    return None
+    return topo.carrier_segment(tile)
 
 
 class ElmoreEngine:
-    """Computes :class:`NetTiming` for routed, layer-assigned nets."""
+    """Computes :class:`NetTiming` for routed, layer-assigned nets.
 
-    def __init__(self, stack: LayerStack, config: Optional[TimingConfig] = None) -> None:
+    Timing is cached per net, keyed by the net's layer-assignment
+    fingerprint (the tuple of its segment layers): a net's Elmore delays
+    depend only on its own topology, pin loads, and layer assignment, none
+    of which other nets can change.  ``analyze_all`` therefore re-analyzes
+    only the nets whose layers actually moved since the last refresh —
+    callers that mutate layers may :meth:`mark_dirty` explicitly, but the
+    fingerprint check alone already guarantees exactness.  Hit/miss counts
+    are exported through ``repro.obs.metrics`` (``elmore.cache_hits`` /
+    ``elmore.cache_misses``).
+    """
+
+    def __init__(
+        self,
+        stack: LayerStack,
+        config: Optional[TimingConfig] = None,
+        incremental: bool = True,
+    ) -> None:
         self.stack = stack
         self.config = config or TimingConfig()
+        self.incremental = incremental
+        # net id -> (topology identity, layer fingerprint, timing)
+        self._cache: Dict[int, Tuple[NetTopology, Tuple[int, ...], NetTiming]] = {}
+
+    # -- result cache ------------------------------------------------------
+
+    def mark_dirty(self, net_ids) -> None:
+        """Drop cached timing of the given nets (they will re-analyze)."""
+        for net_id in net_ids:
+            self._cache.pop(net_id, None)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
 
     # -- capacitance ------------------------------------------------------
 
@@ -159,7 +179,31 @@ class ElmoreEngine:
         return r * cd_child
 
     def analyze(self, net: Net) -> NetTiming:
-        """Full timing of one net: per-segment delays and per-sink path delays."""
+        """Full timing of one net: per-segment delays and per-sink path delays.
+
+        Served from the per-net cache when the net's layer fingerprint is
+        unchanged; callers must treat the returned :class:`NetTiming` as
+        read-only (every caller in the repo does).
+        """
+        if not self.incremental:
+            return self._analyze(net)
+        topo = self._topo(net)
+        fingerprint = tuple(seg.layer for seg in topo.segments)
+        entry = self._cache.get(net.id)
+        if (
+            entry is not None
+            and entry[0] is topo
+            and entry[1] == fingerprint
+        ):
+            metrics.inc("elmore.cache_hits")
+            return entry[2]
+        timing = self._analyze(net)
+        self._cache[net.id] = (topo, fingerprint, timing)
+        metrics.inc("elmore.cache_misses")
+        return timing
+
+    def _analyze(self, net: Net) -> NetTiming:
+        """The uncached full analysis."""
         topo = self._topo(net)
         source = net.source
         timing = NetTiming(net_id=net.id)
