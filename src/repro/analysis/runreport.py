@@ -52,6 +52,9 @@ class RunReport:
     # Snapshot of the observability metrics registry taken at the end of the
     # run (empty unless metrics were enabled; see repro.obs).
     metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    # Convergence diagnostics snapshot ({"solves": [...], "partitions":
+    # [...]}; empty unless repro.obs.convergence was enabled).
+    convergence: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def runtime(self) -> float:
@@ -80,6 +83,12 @@ class RunReport:
             lines.extend(
                 f"  {name:<{width}}  {value:g}"
                 for name, value in sorted(gauges.items())
+            )
+        if self.convergence:
+            from repro.obs import convergence as _convergence
+
+            lines.append(
+                _convergence.summary_text(_convergence.summarize(self.convergence))
             )
         return "\n".join(lines)
 

@@ -7,6 +7,10 @@ Subcommands mirror the repo's workflow::
     repro compare --benchmark adaptec1          # TILA vs SDP (Table 2 row)
     repro table2 --scale 0.3                    # the full Table 2
     repro density --benchmark adaptec1          # Fig. 3(b)-style map
+    repro run --benchmark adaptec1 --ledger runs.jsonl   # ledgered run
+    repro obs show runs.jsonl                  # convergence diagnostics
+    repro obs diff old.jsonl new.jsonl         # compare two ledger entries
+    repro obs check runs.jsonl --baseline base.jsonl  # regression gate
 
 Percentages follow the paper: ``--ratio 0.5`` means 0.5% of nets released.
 """
@@ -44,6 +48,11 @@ def _add_observability(parser: argparse.ArgumentParser) -> None:
         "--metrics-out", default=None, metavar="PATH",
         help="enable metrics and write a Prometheus-style dump to PATH",
     )
+    parser.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="enable convergence diagnostics and append a run-ledger entry "
+             "(JSON-lines) to PATH; inspect with 'repro obs show PATH'",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,7 +79,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument(
         "--workers", type=int, default=0,
-        help="solve partition leaves in a process pool (sdp/ilp methods)",
+        help="solve partition leaves in a process pool; only the sdp/ilp "
+             "methods parallelize — ignored (with a warning) for tila/tila+flow",
     )
     _add_observability(p_run)
     _add_common(p_run)
@@ -98,6 +108,64 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--scale", type=float, default=1.0)
     p_eval.add_argument("-v", "--verbose", action="store_true")
 
+    p_obs = sub.add_parser(
+        "obs", help="run-ledger diagnostics (show / diff / check)"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_show = obs_sub.add_parser(
+        "show", help="render one ledger entry (convergence attribution)"
+    )
+    p_show.add_argument("ledger", help="run-ledger file (JSON-lines)")
+    p_show.add_argument(
+        "--entry", type=int, default=-1,
+        help="entry index, python-style (default: -1, the latest)",
+    )
+    p_show.add_argument("-v", "--verbose", action="store_true")
+
+    p_diff = obs_sub.add_parser("diff", help="compare two ledger entries")
+    p_diff.add_argument("ledger_a", help="baseline ledger file")
+    p_diff.add_argument("ledger_b", help="comparison ledger file")
+    p_diff.add_argument("--entry-a", type=int, default=-1)
+    p_diff.add_argument("--entry-b", type=int, default=-1)
+    p_diff.add_argument("-v", "--verbose", action="store_true")
+
+    p_check = obs_sub.add_parser(
+        "check",
+        help="regression gate: exit non-zero when the latest entry regresses "
+             "past the thresholds versus the baseline ledger",
+    )
+    p_check.add_argument("ledger", help="current run-ledger file")
+    p_check.add_argument(
+        "--baseline", required=True,
+        help="baseline ledger; the latest entry matching the current "
+             "benchmark+method is compared",
+    )
+    p_check.add_argument("--entry", type=int, default=-1)
+    p_check.add_argument(
+        "--max-avg-tcp-regression", type=float, default=0.02, metavar="FRAC",
+        help="max tolerated relative final Avg(Tcp) increase (default 0.02)",
+    )
+    p_check.add_argument(
+        "--max-max-tcp-regression", type=float, default=0.05, metavar="FRAC",
+        help="max tolerated relative final Max(Tcp) increase (default 0.05)",
+    )
+    p_check.add_argument(
+        "--max-iterations-regression", type=float, default=0.5, metavar="FRAC",
+        help="max tolerated relative solver-iterations-p90 increase (default 0.5)",
+    )
+    p_check.add_argument(
+        "--max-nonconverged-increase", type=float, default=0.10, metavar="FRAC",
+        help="max tolerated absolute increase of the non-converged partition "
+             "fraction (default 0.10)",
+    )
+    p_check.add_argument(
+        "--max-runtime-regression", type=float, default=None, metavar="FRAC",
+        help="max tolerated relative runtime increase (default: not gated — "
+             "wall-clock is machine-dependent)",
+    )
+    p_check.add_argument("-v", "--verbose", action="store_true")
+
     return parser
 
 
@@ -121,7 +189,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.core.engine import CPLAConfig
 
     # Fail on an unwritable output path now, not after the optimizer ran.
-    for path in (args.trace_out, args.metrics_out):
+    for path in (args.trace_out, args.metrics_out, args.ledger):
         if path:
             try:
                 with open(path, "a", encoding="utf-8"):
@@ -133,9 +201,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         obs.tracer.enable()
     if args.metrics_out:
         obs.metrics.enable()
+    if args.ledger:
+        obs.convergence.enable()
     cpla_config = None
     if args.workers and args.method in ("sdp", "ilp"):
         cpla_config = CPLAConfig(workers=args.workers)
+    elif args.workers:
+        print(
+            f"warning: --workers only parallelizes the sdp/ilp methods; "
+            f"ignored for method {args.method!r}",
+            file=sys.stderr,
+        )
     bench = prepare(args.benchmark, scale=args.scale)
     report = run_method(
         bench, args.method, critical_ratio=args.ratio / 100.0,
@@ -150,7 +226,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"({len(report.critical_net_ids)} nets released)")
     print(table.render())
     print(f"runtime: {report.runtime:.2f}s")
-    if args.trace_out or args.metrics_out:
+    if args.trace_out or args.metrics_out or args.ledger:
         print()
         print(report.observability_summary())
     if args.trace_out:
@@ -160,6 +236,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with open(args.metrics_out, "w", encoding="utf-8") as fh:
             fh.write(obs.metrics.registry().render_prometheus())
         print(f"wrote metrics to {args.metrics_out}")
+    if args.ledger:
+        entry = obs.ledger.build_entry(
+            report,
+            config={
+                "benchmark": args.benchmark,
+                "method": args.method,
+                "scale": args.scale,
+                "ratio_percent": args.ratio,
+                "workers": args.workers,
+            },
+        )
+        obs.ledger.append_entry(args.ledger, entry)
+        print(f"appended run-ledger entry to {args.ledger}")
     if args.routes_out:
         from repro.ispd.routes import write_routes
 
@@ -220,6 +309,64 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0 if result.legal else 1
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import ledger as run_ledger
+
+    try:
+        if args.obs_command == "show":
+            entries = run_ledger.read_entries(args.ledger)
+            print(run_ledger.render_entry(
+                run_ledger.select_entry(entries, args.entry)
+            ))
+            return 0
+        if args.obs_command == "diff":
+            entry_a = run_ledger.select_entry(
+                run_ledger.read_entries(args.ledger_a), args.entry_a
+            )
+            entry_b = run_ledger.select_entry(
+                run_ledger.read_entries(args.ledger_b), args.entry_b
+            )
+            print(run_ledger.diff_entries(entry_a, entry_b))
+            return 0
+        # check: gate the latest entry against the matching baseline entry.
+        current = run_ledger.select_entry(
+            run_ledger.read_entries(args.ledger), args.entry
+        )
+        baseline = run_ledger.match_baseline(
+            run_ledger.read_entries(args.baseline), current
+        )
+        if baseline is None:
+            print(
+                f"no baseline entry for {current.get('benchmark')}/"
+                f"{current.get('method')} in {args.baseline}",
+                file=sys.stderr,
+            )
+            return 2
+    except (OSError, ValueError) as exc:
+        print(f"obs {args.obs_command}: {exc}", file=sys.stderr)
+        return 2
+    thresholds = run_ledger.CheckThresholds(
+        avg_tcp=args.max_avg_tcp_regression,
+        max_tcp=args.max_max_tcp_regression,
+        iterations_p90=args.max_iterations_regression,
+        nonconverged_fraction=args.max_nonconverged_increase,
+        runtime=args.max_runtime_regression,
+    )
+    violations = run_ledger.check_entries(baseline, current, thresholds)
+    label = f"{current.get('benchmark')}/{current.get('method')}"
+    if violations:
+        print(f"obs check FAILED for {label}:", file=sys.stderr)
+        for violation in violations:
+            print(f"  - {violation}", file=sys.stderr)
+        return 1
+    print(
+        f"obs check ok: {label} within thresholds of baseline "
+        f"{baseline.get('created', '?')} (commit "
+        f"{baseline.get('fingerprint', {}).get('commit', '?')})"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     configure_cli_logging(getattr(args, "verbose", False))
@@ -230,6 +377,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "table2": _cmd_table2,
         "density": _cmd_density,
         "evaluate": _cmd_evaluate,
+        "obs": _cmd_obs,
     }
     return handlers[args.command](args)
 

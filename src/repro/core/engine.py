@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.runreport import IterationStats, RunReport
-from repro.obs import collect, metrics, tracer
+from repro.obs import collect, convergence, metrics, tracer
 from repro.core.ilp import IlpConfig, IlpPartitionSolver
 from repro.core.mapping import CapacityLedger, post_map
 from repro.core.partition import self_adaptive_partition
@@ -57,11 +57,13 @@ def _solve_leaf_task(solver, capture_telemetry, problem):
 
     The worker's wall-clock phases are always measured and returned —
     without this every second spent inside Jacobi-mode workers was
-    invisible to the parent report; spans/metrics ride along when
-    observability is enabled.
+    invisible to the parent report; spans/metrics/convergence records ride
+    along when their subsystems are enabled.  ``capture_telemetry`` is the
+    ``(tracing, metrics, convergence)`` flag tuple observed in the parent
+    at pool creation, so workers arm exactly what the parent collects.
     """
-    if capture_telemetry:
-        collect.init_worker_observability(tracing=True, metric_counts=True)
+    if any(capture_telemetry):
+        collect.init_worker_observability(*capture_telemetry)
     clock = WallClock()
     with clock.phase("solve"):
         with tracer.span(
@@ -75,7 +77,7 @@ def _solve_leaf_task(solver, capture_telemetry, problem):
 # Worker-process state installed once by the pool initializer, so each task
 # ships only its problem — not a fresh pickle of the whole solver.
 _POOL_SOLVER = None
-_POOL_CAPTURE = False
+_POOL_CAPTURE = (False, False, False)
 
 
 def _pool_initializer(solver, capture_telemetry) -> None:
@@ -119,7 +121,11 @@ class LeafSolvePool:
             return None if self._broken else []
         try:
             if self._pool is None:
-                capture = tracer.is_enabled() or metrics.is_enabled()
+                capture = (
+                    tracer.is_enabled(),
+                    metrics.is_enabled(),
+                    convergence.is_enabled(),
+                )
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers,
                     initializer=_pool_initializer,
@@ -242,6 +248,7 @@ class CPLAEngine:
             self._solver = IlpPartitionSolver(self.config.ilp, grid=self.grid)
         self._worker_clock = WallClock()
         self._pool: Optional[LeafSolvePool] = None
+        self._iter_index = 0
 
     # -- public API -------------------------------------------------------
 
@@ -257,6 +264,8 @@ class CPLAEngine:
                 self._pool = None
         if metrics.is_enabled():
             report.metrics = metrics.registry().as_dict()
+        if convergence.is_enabled():
+            report.convergence = convergence.snapshot()
         return report
 
     def _run(self) -> CPLAReport:
@@ -408,6 +417,7 @@ class CPLAEngine:
         active = list(subset) if subset is not None else list(critical)
         nets_by_id = {n.id: n for n in active}
         limit = segment_limit or cfg.max_segments_per_partition
+        self._iter_index = index  # partition-attribution records carry it
 
         with clock.phase("timing"):
             timings = self.elmore.analyze_all(critical)
@@ -517,7 +527,7 @@ class CPLAEngine:
     def _solve_sequential(
         self, leaves, nets_by_id, timings, weights, ledger, reserved, clock
     ) -> None:
-        for _, keys in leaves:
+        for leaf_index, (_, keys) in enumerate(leaves):
             with clock.phase("extract"):
                 problem = extract_partition_problem(
                     self.grid, self.elmore, nets_by_id, timings, keys,
@@ -525,10 +535,16 @@ class CPLAEngine:
                 )
             with clock.phase("solve") as timer:
                 with tracer.span("engine.leaf", segments=problem.num_vars):
-                    x_values, _ = self._solver.solve(problem)
+                    x_values, info = self._solver.solve(problem)
             metrics.inc("engine.leaves")
             metrics.observe("engine.leaf_solve_seconds", timer.elapsed, _LEAF_BUCKETS)
-            self._map_and_apply(problem, x_values, ledger, reserved, nets_by_id, clock)
+            overflow = self._map_and_apply(
+                problem, x_values, ledger, reserved, nets_by_id, clock
+            )
+            if convergence.is_enabled():
+                self._record_partition(
+                    leaf_index, problem, info, timer.elapsed, overflow, timings
+                )
 
     def _solve_parallel(
         self, leaves, nets_by_id, timings, weights, ledger, reserved, clock
@@ -550,40 +566,88 @@ class CPLAEngine:
             # Pool failed (logged + counted by LeafSolvePool): solve the
             # already-extracted problems inline from the same snapshot —
             # identical Jacobi semantics, just without the parallelism.
-            self._solve_fallback(problems, nets_by_id, ledger, reserved, clock)
+            self._solve_fallback(problems, nets_by_id, ledger, reserved, clock, timings)
             return
-        for problem, ((x_values, _), telemetry) in zip(problems, results):
+        for leaf_index, (problem, ((x_values, info), telemetry)) in enumerate(
+            zip(problems, results)
+        ):
             metrics.inc("engine.leaves")
             leaf_seconds = telemetry.phases.get("solve", 0.0)
             metrics.observe("engine.leaf_solve_seconds", leaf_seconds, _LEAF_BUCKETS)
             collect.merge_worker_telemetry(
                 telemetry, self._worker_clock, parent_span
             )
-            self._map_and_apply(problem, x_values, ledger, reserved, nets_by_id, clock)
+            overflow = self._map_and_apply(
+                problem, x_values, ledger, reserved, nets_by_id, clock
+            )
+            if convergence.is_enabled():
+                self._record_partition(
+                    leaf_index, problem, info, leaf_seconds, overflow, timings
+                )
 
     def _solve_fallback(
-        self, problems, nets_by_id, ledger, reserved, clock
+        self, problems, nets_by_id, ledger, reserved, clock, timings
     ) -> None:
         """Sequentially solve already-extracted problems after a pool failure."""
-        for problem in problems:
+        for leaf_index, problem in enumerate(problems):
             with clock.phase("solve") as timer:
                 with tracer.span("engine.leaf", segments=problem.num_vars):
-                    x_values, _ = self._solver.solve(problem)
+                    x_values, info = self._solver.solve(problem)
             metrics.inc("engine.leaves")
             metrics.observe("engine.leaf_solve_seconds", timer.elapsed, _LEAF_BUCKETS)
-            self._map_and_apply(problem, x_values, ledger, reserved, nets_by_id, clock)
+            overflow = self._map_and_apply(
+                problem, x_values, ledger, reserved, nets_by_id, clock
+            )
+            if convergence.is_enabled():
+                self._record_partition(
+                    leaf_index, problem, info, timer.elapsed, overflow, timings
+                )
+
+    def _record_partition(
+        self, leaf_index, problem, info, solve_seconds, overflow, timings
+    ) -> None:
+        """Attribute one leaf's solver behaviour for the convergence recorder.
+
+        ``info`` is duck-typed: the SDP solver reports iterations/converged/
+        mode, the ILP solver a status string — both attribute cleanly.  The
+        Tcp contribution is the worst critical-path delay among the nets
+        with segments in this leaf (from the iteration's timing snapshot).
+        """
+        net_ids = {var.key[0] for var in problem.vars}
+        tcp = max(
+            (timings[n].critical_delay for n in net_ids if n in timings),
+            default=0.0,
+        )
+        status = getattr(info, "status", "")
+        convergence.record_partition(convergence.PartitionRecord(
+            engine_iteration=self._iter_index,
+            leaf_index=leaf_index,
+            num_segments=problem.num_vars,
+            matrix_order=getattr(info, "matrix_order", 0),
+            num_constraints=getattr(info, "num_constraints", 0),
+            iterations=getattr(info, "iterations", 0),
+            converged=bool(getattr(info, "converged", status == "optimal")),
+            warm_start=bool(getattr(info, "warm_start", False)),
+            mode=getattr(info, "mode", status),
+            objective=float(getattr(info, "objective", 0.0)),
+            solve_seconds=float(solve_seconds),
+            overflow_events=overflow,
+            tcp_contribution=tcp,
+        ))
 
     def _map_and_apply(
         self, problem, x_values, ledger, reserved, nets_by_id, clock
-    ) -> None:
+    ) -> int:
+        """Post-map one solved leaf; returns its capacity-overflow events."""
         if not problem.vars:
-            return
+            return 0
         # Give protected segments of this partition their reserved tracks
         # back: their own mapping decides whether to keep or move them.
         for var in problem.vars:
             reservation = reserved.pop(var.key, None)
             if reservation is not None:
                 ledger.release(*reservation)
+        overflow_before = ledger.overflow_events
         with clock.phase("mapping"):
             layers = post_map(
                 problem, x_values, ledger,
@@ -595,6 +659,7 @@ class CPLAEngine:
         # The timing cache's layer fingerprints would catch this anyway, but
         # explicit dirty-marking keeps stale NetTiming objects from lingering.
         self.elmore.mark_dirty({var.key[0] for var in problem.vars})
+        return ledger.overflow_events - overflow_before
 
     # -- ILP-specific hook ------------------------------------------------------
 

@@ -82,6 +82,7 @@ class SdpSolveInfo:
     converged: bool
     objective: float
     mode: str
+    warm_start: bool = False
 
 
 class SdpPartitionSolver:
@@ -179,6 +180,7 @@ class SdpPartitionSolver:
             converged=result.converged,
             objective=result.objective,
             mode=mode,
+            warm_start=warm is not None,
         )
         metrics.inc("sdp.solves")
         metrics.inc("sdp.iterations", result.iterations)

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.obs import metrics, tracer
+from repro.obs import convergence, metrics, tracer
 from repro.utils import WallClock
 
 
@@ -33,16 +33,22 @@ class WorkerTelemetry:
     spans: List[Dict[str, Any]] = field(default_factory=list)
     metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     phases: Dict[str, float] = field(default_factory=dict)
+    # Convergence solve records (repro.obs.convergence); partition records
+    # are parent-side only, so the payload carries just the solves.
+    convergence: List[Dict[str, Any]] = field(default_factory=list)
 
 
 def reset_worker_state() -> None:
     """Clear inherited/leftover telemetry at the start of a worker task."""
     tracer.reset()
     metrics.registry().reset()
+    convergence.reset()
 
 
 def init_worker_observability(
-    tracing: bool = False, metric_counts: bool = False
+    tracing: bool = False,
+    metric_counts: bool = False,
+    convergence_records: bool = False,
 ) -> None:
     """Arm observability inside a worker process for one task.
 
@@ -56,6 +62,8 @@ def init_worker_observability(
         tracer.enable()
     if metric_counts:
         metrics.enable()
+    if convergence_records:
+        convergence.enable()
     reset_worker_state()
 
 
@@ -70,6 +78,7 @@ def capture_worker_telemetry(clock: Optional[WallClock] = None) -> WorkerTelemet
         spans=tracer.drain() if tracer.is_enabled() else [],
         metrics=metrics.registry().as_dict() if metrics.is_enabled() else {},
         phases=dict(clock.totals) if clock is not None else {},
+        convergence=convergence.drain_solves() if convergence.is_enabled() else [],
     )
 
 
@@ -96,6 +105,8 @@ def merge_worker_telemetry(
         tracer.extend(spans)
     if telemetry.metrics:
         metrics.registry().merge_dict(telemetry.metrics)
+    if telemetry.convergence:
+        convergence.extend_solves(telemetry.convergence)
     if worker_clock is not None:
         for name, seconds in telemetry.phases.items():
             worker_clock.add(name, seconds)

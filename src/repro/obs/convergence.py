@@ -1,0 +1,267 @@
+"""Convergence diagnostics: per-solve ADMM curves and per-partition attribution.
+
+The recorder answers "why did this run converge slowly?" at two levels:
+
+- **solve records** (:class:`SolveRecord`) — written by the ADMM SDP solver
+  itself: one record per :meth:`~repro.solver.sdp.ADMMSDPSolver.solve` with
+  the residual/objective samples taken at each ``check_every`` boundary,
+  the projection wall-clock, and the warm/cold start disposition.  Records
+  made inside pool workers ride home in the
+  :class:`~repro.obs.collect.WorkerTelemetry` payload;
+- **partition records** (:class:`PartitionRecord`) — written by the engine
+  in the parent process: one record per partition leaf per engine
+  iteration, attributing solver behaviour (iterations, convergence, solve
+  seconds) to a concrete leaf together with its post-mapping overflow
+  events and the worst critical-path delay (Tcp) among the nets it touches.
+
+Like the tracer and metrics, the subsystem is OFF by default and the
+disabled path is a single module-global flag check — the engine and solver
+call sites stay unconditional in the hot loops.  Enabled-state buffers are
+process-wide and cleared by :func:`disable`/:func:`reset`.
+
+The :func:`summarize` helper turns a :func:`snapshot` into the compact
+percentile summary stored in run-ledger entries (:mod:`repro.obs.ledger`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+_enabled = False
+_lock = threading.Lock()
+_solves: List["SolveRecord"] = []
+_partitions: List["PartitionRecord"] = []
+
+
+def enable() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn the recorder off and clear both buffers."""
+    global _enabled
+    _enabled = False
+    reset()
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def reset() -> None:
+    """Clear the solve and partition buffers (worker-task prologue)."""
+    with _lock:
+        _solves.clear()
+        _partitions.clear()
+
+
+@dataclass
+class SolveRecord:
+    """One numerical solve, with its convergence curve.
+
+    ``samples`` holds one dict per residual check —
+    ``{"iteration", "objective", "primal", "dual", "rho"}`` — cheap enough
+    to keep whole (a few hundred iterations / ``check_every`` entries).
+    """
+
+    solver: str
+    matrix_order: int
+    num_constraints: int
+    warm_start: bool
+    iterations: int
+    converged: bool
+    objective: float
+    primal_residual: float
+    dual_residual: float
+    solve_seconds: float
+    projection_seconds: float
+    psd_identity_fraction: float
+    samples: List[Dict[str, float]] = field(default_factory=list)
+
+
+@dataclass
+class PartitionRecord:
+    """Solver behaviour attributed to one partition leaf (parent-side)."""
+
+    engine_iteration: int
+    leaf_index: int
+    num_segments: int
+    matrix_order: int
+    num_constraints: int
+    iterations: int
+    converged: bool
+    warm_start: bool
+    mode: str
+    objective: float
+    solve_seconds: float
+    overflow_events: int
+    tcp_contribution: float
+
+
+def record_solve(record: SolveRecord) -> None:
+    if _enabled:
+        with _lock:
+            _solves.append(record)
+
+
+def record_partition(record: PartitionRecord) -> None:
+    if _enabled:
+        with _lock:
+            _partitions.append(record)
+
+
+def snapshot() -> Dict[str, List[Dict[str, Any]]]:
+    """Plain-dict copy of both buffers (the ``RunReport.convergence`` form)."""
+    with _lock:
+        return {
+            "solves": [asdict(r) for r in _solves],
+            "partitions": [asdict(r) for r in _partitions],
+        }
+
+
+def drain_solves() -> List[Dict[str, Any]]:
+    """Return and clear the solve records (worker-payload capture).
+
+    Partition records are parent-side only, so the worker payload carries
+    just the solves.
+    """
+    with _lock:
+        out = [asdict(r) for r in _solves]
+        _solves.clear()
+    return out
+
+
+def extend_solves(records: List[Dict[str, Any]]) -> None:
+    """Fold solve records captured in a worker back into this process."""
+    if not records:
+        return
+    with _lock:
+        _solves.extend(SolveRecord(**r) for r in records)
+
+
+# -- summarization ----------------------------------------------------------
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an unsorted list (0 for empty input)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return float(ordered[idx])
+
+
+def _dist(values: List[float]) -> Dict[str, float]:
+    return {
+        "p50": round(_percentile(values, 0.50), 4),
+        "p90": round(_percentile(values, 0.90), 4),
+        "max": round(max(values), 4) if values else 0.0,
+    }
+
+
+def summarize(
+    data: Optional[Dict[str, List[Dict[str, Any]]]], worst: int = 8
+) -> Dict[str, Any]:
+    """Compact percentile summary of a :func:`snapshot` (ledger-entry form).
+
+    ``worst`` bounds the per-partition attribution kept verbatim: the
+    leaves ranked worst-converging first (non-converged, then by iteration
+    count and solve seconds) — the "which leaf is slow" answer without
+    storing every record in the ledger.
+    """
+    out: Dict[str, Any] = {}
+    if not data:
+        return out
+    solves = data.get("solves", [])
+    partitions = data.get("partitions", [])
+    if solves:
+        out["solves"] = {
+            "count": len(solves),
+            "converged": sum(1 for s in solves if s["converged"]),
+            "warm_started": sum(1 for s in solves if s["warm_start"]),
+            "iterations": _dist([s["iterations"] for s in solves]),
+            "primal_residual_max": max(s["primal_residual"] for s in solves),
+            "projection_seconds": round(
+                sum(s["projection_seconds"] for s in solves), 4
+            ),
+            "psd_identity_fraction": round(
+                sum(s["psd_identity_fraction"] for s in solves) / len(solves), 4
+            ),
+        }
+    if partitions:
+        seconds = [p["solve_seconds"] for p in partitions]
+        ranked = sorted(
+            partitions,
+            key=lambda p: (p["converged"], -p["iterations"], -p["solve_seconds"]),
+        )
+        out["partitions"] = {
+            "count": len(partitions),
+            "nonconverged": sum(1 for p in partitions if not p["converged"]),
+            "iterations": _dist([p["iterations"] for p in partitions]),
+            "solve_seconds": {
+                "total": round(sum(seconds), 4),
+                "p90": round(_percentile(seconds, 0.90), 4),
+                "max": round(max(seconds), 4),
+            },
+            "overflow_events": sum(p["overflow_events"] for p in partitions),
+            "worst": [
+                {
+                    "engine_iteration": p["engine_iteration"],
+                    "leaf_index": p["leaf_index"],
+                    "num_segments": p["num_segments"],
+                    "iterations": p["iterations"],
+                    "converged": p["converged"],
+                    "solve_seconds": round(p["solve_seconds"], 4),
+                    "overflow_events": p["overflow_events"],
+                    "tcp_contribution": round(p["tcp_contribution"], 4),
+                }
+                for p in ranked[:worst]
+            ],
+        }
+    return out
+
+
+def summary_text(summary: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`summarize` result."""
+    if not summary:
+        return "convergence: (no records)"
+    lines = ["convergence:"]
+    solves = summary.get("solves")
+    if solves:
+        it = solves["iterations"]
+        lines.append(
+            "  solves: {count} ({converged} converged, {warm_started} warm-started)"
+            .format(**solves)
+        )
+        lines.append(
+            f"  solver iterations: p50={it['p50']:g} p90={it['p90']:g} "
+            f"max={it['max']:g}"
+        )
+        lines.append(
+            f"  projection time: {solves['projection_seconds']:.3f}s, "
+            f"PSD identity fraction {solves['psd_identity_fraction']:.2f}"
+        )
+    parts = summary.get("partitions")
+    if parts:
+        lines.append(
+            f"  partitions: {parts['count']} ({parts['nonconverged']} not "
+            f"converged), {parts['overflow_events']} overflow events"
+        )
+        worst = parts.get("worst", [])
+        if worst:
+            lines.append("  worst-converging partitions:")
+            lines.append(
+                "    iter  leaf  segs  solver-its  conv  seconds  overflow      Tcp"
+            )
+            for p in worst:
+                lines.append(
+                    "    {engine_iteration:>4}  {leaf_index:>4}  {num_segments:>4}"
+                    "  {iterations:>10}  {conv:>4}  {solve_seconds:>7.3f}"
+                    "  {overflow_events:>8}  {tcp_contribution:>7.1f}".format(
+                        conv="yes" if p["converged"] else "NO", **p
+                    )
+                )
+    return "\n".join(lines)

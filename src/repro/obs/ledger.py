@@ -1,0 +1,336 @@
+"""Append-only JSON-lines run ledger with diff and regression gating.
+
+Every ``repro run --ledger PATH`` appends one self-describing entry — an
+environment/config fingerprint, the quality numbers (Tcp, overflow, vias),
+the phase wall-clocks, and the convergence summary percentiles from
+:mod:`repro.obs.convergence` — so runs accumulate into a durable,
+greppable history instead of scrollback.  The ``repro obs`` subcommands
+consume the same file:
+
+- ``repro obs show PATH``   — render one entry (convergence table, the
+  worst-converging partitions);
+- ``repro obs diff A B``    — field-by-field comparison of two entries;
+- ``repro obs check PATH --baseline BASE`` — compare the latest entry
+  against the matching baseline entry and exit non-zero past the
+  regression thresholds (the CI perf-smoke gate).
+
+Entries are plain dicts (schema ``repro.run_ledger/v1``); unknown keys are
+preserved by readers so the format can grow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.obs import convergence
+
+SCHEMA = "repro.run_ledger/v1"
+
+
+def git_commit() -> str:
+    """Short commit hash of the repo this module lives in ("unknown" off-git)."""
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            text=True,
+            stderr=subprocess.DEVNULL,
+        ).strip()
+    except Exception:
+        return "unknown"
+
+
+def fingerprint(config: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Environment + configuration identity of one run.
+
+    ``config`` holds the knobs that make runs comparable (scale, ratio,
+    workers, ...); its stable hash lets ``check`` refuse to gate a run
+    against a baseline produced under different settings.
+    """
+    config = dict(config or {})
+    digest = hashlib.sha256(
+        json.dumps(config, sort_keys=True, default=str).encode("utf-8")
+    ).hexdigest()[:12]
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "commit": git_commit(),
+        "config": config,
+        "config_digest": digest,
+    }
+
+
+def build_entry(
+    report: Any,
+    config: Optional[Dict[str, Any]] = None,
+    label: Optional[str] = None,
+) -> Dict[str, Any]:
+    """One ledger entry from a :class:`~repro.analysis.runreport.RunReport`."""
+    entry: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "benchmark": report.benchmark,
+        "method": report.method,
+        "critical_ratio": report.critical_ratio,
+        "fingerprint": fingerprint(config),
+        "quality": {
+            "initial_avg_tcp": report.initial_avg_tcp,
+            "final_avg_tcp": report.final_avg_tcp,
+            "initial_max_tcp": report.initial_max_tcp,
+            "final_max_tcp": report.final_max_tcp,
+            "initial_via_overflow": report.initial_via_overflow,
+            "final_via_overflow": report.final_via_overflow,
+            "initial_vias": report.initial_vias,
+            "final_vias": report.final_vias,
+        },
+        "runtime": {
+            "total_seconds": round(report.runtime, 4),
+            "phases": {
+                k: round(v, 4) for k, v in sorted(report.clock.totals.items())
+            },
+            "worker_phases": {
+                k: round(v, 4)
+                for k, v in sorted(report.worker_clock.totals.items())
+            },
+        },
+        "convergence": convergence.summarize(report.convergence),
+    }
+    if label:
+        entry["label"] = label
+    return entry
+
+
+def append_entry(path: str, entry: Dict[str, Any]) -> None:
+    """Append one entry as a JSON line (creates the file and parents)."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=False, default=str))
+        fh.write("\n")
+
+
+def read_entries(path: str) -> List[Dict[str, Any]]:
+    """All entries of a ledger file, in append order.
+
+    Raises :class:`ValueError` on malformed lines or foreign schemas — a
+    corrupt ledger should fail the gate, not silently pass it.
+    """
+    entries: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON ({exc})")
+            if entry.get("schema") != SCHEMA:
+                raise ValueError(
+                    f"{path}:{lineno}: schema {entry.get('schema')!r} "
+                    f"is not {SCHEMA!r}"
+                )
+            entries.append(entry)
+    if not entries:
+        raise ValueError(f"{path}: ledger holds no entries")
+    return entries
+
+
+def select_entry(entries: List[Dict[str, Any]], index: int = -1) -> Dict[str, Any]:
+    try:
+        return entries[index]
+    except IndexError:
+        raise ValueError(
+            f"entry index {index} out of range (ledger holds {len(entries)})"
+        )
+
+
+def match_baseline(
+    entries: List[Dict[str, Any]], current: Dict[str, Any]
+) -> Optional[Dict[str, Any]]:
+    """Latest baseline entry with the current run's benchmark + method."""
+    for entry in reversed(entries):
+        if (
+            entry.get("benchmark") == current.get("benchmark")
+            and entry.get("method") == current.get("method")
+        ):
+            return entry
+    return None
+
+
+# -- rendering --------------------------------------------------------------
+
+
+def _pct(initial: float, final: float) -> str:
+    if not initial:
+        return "n/a"
+    return f"{(final / initial - 1.0) * 100:+.2f}%"
+
+
+def render_entry(entry: Dict[str, Any]) -> str:
+    """Human-readable report of one ledger entry (``repro obs show``)."""
+    fp = entry.get("fingerprint", {})
+    q = entry.get("quality", {})
+    rt = entry.get("runtime", {})
+    lines = [
+        "run {created}  {benchmark}/{method}  ratio={critical_ratio:g}".format(
+            created=entry.get("created", "?"),
+            benchmark=entry.get("benchmark", "?"),
+            method=entry.get("method", "?"),
+            critical_ratio=entry.get("critical_ratio", 0.0),
+        ),
+        f"  commit {fp.get('commit', '?')}  python {fp.get('python', '?')}"
+        f"  config {fp.get('config_digest', '?')}",
+        "quality:",
+        f"  Avg(Tcp)      {q.get('initial_avg_tcp', 0.0):>12.2f} -> "
+        f"{q.get('final_avg_tcp', 0.0):>12.2f}  "
+        f"({_pct(q.get('initial_avg_tcp', 0.0), q.get('final_avg_tcp', 0.0))})",
+        f"  Max(Tcp)      {q.get('initial_max_tcp', 0.0):>12.2f} -> "
+        f"{q.get('final_max_tcp', 0.0):>12.2f}  "
+        f"({_pct(q.get('initial_max_tcp', 0.0), q.get('final_max_tcp', 0.0))})",
+        f"  via overflow  {q.get('initial_via_overflow', 0):>12} -> "
+        f"{q.get('final_via_overflow', 0):>12}",
+        f"  via count     {q.get('initial_vias', 0):>12} -> "
+        f"{q.get('final_vias', 0):>12}",
+        f"runtime: {rt.get('total_seconds', 0.0):.2f}s",
+    ]
+    phases = rt.get("phases", {})
+    if phases:
+        lines.append(
+            "  phases: "
+            + "  ".join(f"{k}={v:.2f}s" for k, v in sorted(phases.items()))
+        )
+    worker_phases = rt.get("worker_phases", {})
+    if worker_phases:
+        lines.append(
+            "  worker phases: "
+            + "  ".join(f"{k}={v:.2f}s" for k, v in sorted(worker_phases.items()))
+        )
+    lines.append(convergence.summary_text(entry.get("convergence", {})))
+    return "\n".join(lines)
+
+
+_DIFF_FIELDS = (
+    ("final Avg(Tcp)", ("quality", "final_avg_tcp")),
+    ("final Max(Tcp)", ("quality", "final_max_tcp")),
+    ("final via overflow", ("quality", "final_via_overflow")),
+    ("final via count", ("quality", "final_vias")),
+    ("runtime seconds", ("runtime", "total_seconds")),
+    ("solver iterations p50", ("convergence", "solves", "iterations", "p50")),
+    ("solver iterations p90", ("convergence", "solves", "iterations", "p90")),
+    ("non-converged partitions", ("convergence", "partitions", "nonconverged")),
+    ("overflow events", ("convergence", "partitions", "overflow_events")),
+)
+
+
+def _lookup(entry: Dict[str, Any], path) -> Optional[float]:
+    node: Any = entry
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def diff_entries(a: Dict[str, Any], b: Dict[str, Any]) -> str:
+    """Field-by-field comparison of two entries (``repro obs diff A B``)."""
+    header = (
+        f"A: {a.get('created', '?')} {a.get('benchmark', '?')}/"
+        f"{a.get('method', '?')} commit {a.get('fingerprint', {}).get('commit', '?')}\n"
+        f"B: {b.get('created', '?')} {b.get('benchmark', '?')}/"
+        f"{b.get('method', '?')} commit {b.get('fingerprint', {}).get('commit', '?')}"
+    )
+    rows = [f"{'metric':<26} {'A':>12} {'B':>12} {'delta':>10}"]
+    for label, path in _DIFF_FIELDS:
+        va, vb = _lookup(a, path), _lookup(b, path)
+        if va is None and vb is None:
+            continue
+        sa = f"{va:g}" if va is not None else "-"
+        sb = f"{vb:g}" if vb is not None else "-"
+        if va and vb is not None:
+            delta = f"{(vb / va - 1.0) * 100:+.1f}%"
+        else:
+            delta = "n/a"
+        rows.append(f"{label:<26} {sa:>12} {sb:>12} {delta:>10}")
+    return header + "\n" + "\n".join(rows)
+
+
+# -- regression gating ------------------------------------------------------
+
+
+@dataclass
+class CheckThresholds:
+    """Relative regression limits for ``repro obs check``.
+
+    ``None`` disables a dimension.  Runtime gating is off by default —
+    wall-clock is not comparable across machines; CI opts in with a
+    generous ``--max-runtime-regression``.
+    """
+
+    avg_tcp: Optional[float] = 0.02
+    max_tcp: Optional[float] = 0.05
+    iterations_p90: Optional[float] = 0.5
+    nonconverged_fraction: Optional[float] = 0.10  # absolute increase
+    runtime: Optional[float] = None
+
+
+def check_entries(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    thresholds: Optional[CheckThresholds] = None,
+) -> List[str]:
+    """Regressions of ``current`` vs ``baseline`` past the thresholds.
+
+    Returns human-readable violation strings (empty == gate passes).
+    Benchmark/method identity is the caller's concern (see
+    :func:`match_baseline`).
+    """
+    thr = thresholds or CheckThresholds()
+    violations: List[str] = []
+
+    def gate(label: str, path, limit: Optional[float]) -> None:
+        if limit is None:
+            return
+        base, cur = _lookup(baseline, path), _lookup(current, path)
+        if base is None or cur is None or base <= 0:
+            return
+        rel = cur / base - 1.0
+        if rel > limit:
+            violations.append(
+                f"{label} regressed {rel:+.1%} (limit {limit:+.1%}): "
+                f"{base:g} -> {cur:g}"
+            )
+
+    gate("final Avg(Tcp)", ("quality", "final_avg_tcp"), thr.avg_tcp)
+    gate("final Max(Tcp)", ("quality", "final_max_tcp"), thr.max_tcp)
+    gate("runtime", ("runtime", "total_seconds"), thr.runtime)
+    gate(
+        "solver iterations p90",
+        ("convergence", "solves", "iterations", "p90"),
+        thr.iterations_p90,
+    )
+
+    if thr.nonconverged_fraction is not None:
+        def frac(entry: Dict[str, Any]) -> Optional[float]:
+            count = _lookup(entry, ("convergence", "partitions", "count"))
+            bad = _lookup(entry, ("convergence", "partitions", "nonconverged"))
+            if not count or bad is None:
+                return None
+            return bad / count
+
+        base_f, cur_f = frac(baseline), frac(current)
+        if base_f is not None and cur_f is not None:
+            if cur_f - base_f > thr.nonconverged_fraction:
+                violations.append(
+                    "non-converged partition fraction rose "
+                    f"{base_f:.1%} -> {cur_f:.1%} "
+                    f"(limit +{thr.nonconverged_fraction:.0%})"
+                )
+    return violations

@@ -18,8 +18,13 @@ rendering sanitizes them to ``repro_sdp_iterations``.
 
 from __future__ import annotations
 
+import math
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.utils import get_logger
+
+log = get_logger(__name__)
 
 # Generic latency-ish buckets (seconds) used when observe() is called
 # without an explicit bucket spec.
@@ -52,9 +57,20 @@ class Histogram:
     __slots__ = ("buckets", "counts", "sum", "count")
 
     def __init__(self, buckets: Sequence[float]) -> None:
-        bounds = tuple(sorted(float(b) for b in buckets))
+        cleaned = set()
+        for b in buckets:
+            b = float(b)
+            if math.isnan(b):
+                raise ValueError("histogram bucket bound cannot be NaN")
+            # Infinite bounds are dropped, not stored: +Inf duplicates the
+            # implicit overflow slot (rendering both would emit two
+            # le="+Inf" buckets) and a -Inf bound can never catch a value.
+            if math.isinf(b):
+                continue
+            cleaned.add(b)
+        bounds = tuple(sorted(cleaned))
         if not bounds:
-            raise ValueError("histogram needs at least one bucket bound")
+            raise ValueError("histogram needs at least one finite bucket bound")
         self.buckets = bounds
         # one slot per finite bound plus the +Inf overflow slot
         self.counts = [0] * (len(bounds) + 1)
@@ -141,8 +157,11 @@ class MetricsRegistry:
         """Fold a snapshot produced by :meth:`as_dict` into this registry.
 
         Counters and histogram buckets add; gauges are last-write-wins.  A
-        histogram whose bucket bounds disagree with the local one is
-        dropped and counted in :attr:`merge_conflicts`.
+        histogram payload whose bucket layout disagrees with the local one
+        (different bounds, or a counts list that does not match its own
+        bounds) is rejected loudly: dropped, logged, and counted in
+        :attr:`merge_conflicts` — silently misaligned bucket adds would
+        corrupt every percentile derived from the histogram.
         """
         with self._lock:
             for name, value in data.get("counters", {}).items():
@@ -150,33 +169,65 @@ class MetricsRegistry:
             for name, value in data.get("gauges", {}).items():
                 self.gauges[name] = value
             for name, payload in data.get("histograms", {}).items():
-                bounds = tuple(payload["buckets"])
+                bounds = tuple(float(b) for b in payload.get("buckets", ()))
+                counts = list(payload.get("counts", ()))
                 hist = self.histograms.get(name)
-                if hist is None:
-                    hist = self.histograms[name] = Histogram(bounds)
-                elif hist.buckets != bounds:
+                if hist is None and len(counts) == len(bounds) + 1:
+                    try:
+                        candidate = Histogram(bounds)
+                    except ValueError:
+                        candidate = None
+                    # Non-finite/duplicate bounds collapse in the
+                    # constructor; only adopt a faithful reconstruction.
+                    hist = candidate if (
+                        candidate is not None and candidate.buckets == bounds
+                    ) else None
+                    if hist is not None:
+                        self.histograms[name] = hist
+                if (
+                    hist is None
+                    or hist.buckets != bounds
+                    or len(counts) != len(hist.counts)
+                ):
                     self.merge_conflicts += 1
+                    log.warning(
+                        "dropping histogram %r during merge: bucket layout "
+                        "%s/%d counts does not match local %s",
+                        name, bounds, len(counts),
+                        hist.buckets if hist is not None else "(unbuildable)",
+                    )
                     continue
-                for i, c in enumerate(payload["counts"]):
+                for i, c in enumerate(counts):
                     hist.counts[i] += c
-                hist.sum += payload["sum"]
-                hist.count += payload["count"]
+                hist.sum += payload.get("sum", 0.0)
+                hist.count += payload.get("count", 0)
 
     def render_prometheus(self, prefix: str = "repro") -> str:
-        """Prometheus text exposition of every metric in the registry."""
+        """Prometheus text exposition of every metric in the registry.
+
+        Sanitized names are made collision-free across all three metric
+        kinds: when two distinct dotted names sanitize identically (e.g.
+        ``a.b`` and ``a_b``), the first in sorted order keeps the plain
+        name and later ones get a ``_2``, ``_3``, ... suffix — duplicate
+        metric families would make the whole exposition unparseable.
+        """
         lines: List[str] = []
         with self._lock:
+            names = _sanitized_names(
+                prefix,
+                set(self.counters) | set(self.gauges) | set(self.histograms),
+            )
             for name in sorted(self.counters):
-                metric = _sanitize(prefix, name) + "_total"
+                metric = names[name] + "_total"
                 lines.append(f"# TYPE {metric} counter")
                 lines.append(f"{metric} {_fmt(self.counters[name])}")
             for name in sorted(self.gauges):
-                metric = _sanitize(prefix, name)
+                metric = names[name]
                 lines.append(f"# TYPE {metric} gauge")
                 lines.append(f"{metric} {_fmt(self.gauges[name])}")
             for name in sorted(self.histograms):
                 hist = self.histograms[name]
-                metric = _sanitize(prefix, name)
+                metric = names[name]
                 lines.append(f"# TYPE {metric} histogram")
                 cumulative = hist.cumulative()
                 for bound, c in zip(hist.buckets, cumulative):
@@ -192,10 +243,29 @@ def _sanitize(prefix: str, name: str) -> str:
     return f"{prefix}_{safe}"
 
 
+def _sanitized_names(prefix: str, names: Iterable[str]) -> Dict[str, str]:
+    """Deterministic collision-free sanitized name per dotted metric name."""
+    out: Dict[str, str] = {}
+    used: Dict[str, int] = {}
+    for name in sorted(names):
+        base = _sanitize(prefix, name)
+        serial = used.get(base, 0) + 1
+        used[base] = serial
+        out[name] = base if serial == 1 else f"{base}_{serial}"
+    return out
+
+
 def _fmt(value: float) -> str:
-    if float(value).is_integer():
+    value = float(value)
+    # Prometheus spells non-finite sample values +Inf / -Inf / NaN; repr()
+    # would emit 'inf'/'nan', which scrapers reject.
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value.is_integer():
         return str(int(value))
-    return repr(float(value))
+    return repr(value)
 
 
 _default = MetricsRegistry()

@@ -113,6 +113,13 @@ class SymmetricOps:
         self.n = n
         self.rows, self.cols = np.triu_indices(n)
         self.off = self.rows != self.cols
+        # Lifetime projection counters (two int increments next to an
+        # eigendecomposition — structurally free).  The ADMM solver reads
+        # deltas around a solve to report what fraction of PSD projections
+        # were identities (iterate already in the cone), a cheap convergence
+        # signal surfaced by repro.obs.convergence.
+        self.projection_count = 0
+        self.identity_count = 0
         self._scratch = np.zeros((n, n), dtype=np.float64)
         self._lwork: Optional[Tuple[int, int]] = None
         if _lapack is not None:
@@ -169,8 +176,10 @@ class SymmetricOps:
         already PSD the input vector is returned as-is (the projection is
         the identity), skipping the reconstruction entirely.
         """
+        self.projection_count += 1
         vals, vecs = self.eigh(self.smat(v))
         if vals[0] >= 0.0:
+            self.identity_count += 1
             return v
         np.clip(vals, 0.0, None, out=vals)
         return self.svec((vecs * vals) @ vecs.T)

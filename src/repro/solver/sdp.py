@@ -20,12 +20,14 @@ iterations — the CSDP replacement documented in DESIGN.md.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.linalg as sla
 
+from repro.obs import convergence
 from repro.solver.psd import SymmetricOps, entry_svec_index, smat, svec, svec_dim
 from repro.utils import get_logger
 
@@ -205,20 +207,42 @@ class ADMMSDPSolver:
         z = [x.copy() for _ in range(m_sets)]
         u = [np.zeros(d) for _ in range(m_sets)]
 
+        # Convergence recorder: OFF means one flag check before the loop and
+        # two dead branches per iteration; ON samples the residual checks and
+        # times the projection block (repro.obs.convergence).
+        recording = convergence.is_enabled()
+        samples: List[Dict[str, float]] = []
+        proj_seconds = 0.0
+        solve_start = time.perf_counter() if recording else 0.0
+        proj_base = ops.projection_count
+        ident_base = ops.identity_count
+
         iterations = 0
         primal = dual = np.inf
         converged = False
         for iterations in range(1, cfg.max_iterations + 1):
             x_prev = x
             x = sum(zi - ui for zi, ui in zip(z, u)) / m_sets - c_hat / (m_sets * rho)
+            if recording:
+                proj_start = time.perf_counter()
             for i, proj in enumerate(projections):
                 v = x + u[i]
                 z[i] = proj(v)
                 u[i] = v - z[i]
+            if recording:
+                proj_seconds += time.perf_counter() - proj_start
 
             if iterations % cfg.check_every == 0 or iterations == cfg.max_iterations:
                 primal = max(float(np.linalg.norm(x - zi)) for zi in z)
-                dual = rho * np.sqrt(m_sets) * float(np.linalg.norm(x - x_prev))
+                dual = float(rho * np.sqrt(m_sets) * np.linalg.norm(x - x_prev))
+                if recording:
+                    samples.append({
+                        "iteration": iterations,
+                        "objective": float(c @ x),
+                        "primal": primal,
+                        "dual": dual,
+                        "rho": rho,
+                    })
                 scale = max(1.0, float(np.linalg.norm(x)))
                 if primal <= cfg.tolerance * scale and dual <= cfg.tolerance * scale:
                     converged = True
@@ -238,6 +262,26 @@ class ADMMSDPSolver:
             converged=converged,
             max_constraint_violation=problem.violation(X),
         )
+        if recording:
+            num_proj = ops.projection_count - proj_base
+            convergence.record_solve(convergence.SolveRecord(
+                solver="sdp",
+                matrix_order=n,
+                num_constraints=problem.num_constraints,
+                warm_start=warm_start is not None,
+                iterations=iterations,
+                converged=converged,
+                objective=objective,
+                primal_residual=primal,
+                dual_residual=dual,
+                solve_seconds=time.perf_counter() - solve_start,
+                projection_seconds=proj_seconds,
+                psd_identity_fraction=(
+                    (ops.identity_count - ident_base) / num_proj
+                    if num_proj else 0.0
+                ),
+                samples=samples,
+            ))
         if not converged:
             log.debug(
                 "SDP stopped at max_iterations=%d (primal=%.2e dual=%.2e)",

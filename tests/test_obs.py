@@ -11,7 +11,7 @@ from repro import obs
 from repro.core.engine import CPLAConfig, CPLAEngine
 from repro.core.sdp_relaxation import SdpRelaxationConfig
 from repro.ispd.synthetic import generate
-from repro.obs import collect, metrics, tracer
+from repro.obs import collect, convergence, metrics, tracer
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.pipeline import prepare
 from repro.solver.sdp import SDPSettings
@@ -117,6 +117,20 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram(())
 
+    def test_nonfinite_bounds(self):
+        # +Inf duplicates the implicit overflow slot; -Inf catches nothing.
+        assert Histogram((1.0, float("inf"))).buckets == (1.0,)
+        assert Histogram((float("-inf"), 1.0)).buckets == (1.0,)
+        with pytest.raises(ValueError):
+            Histogram((float("nan"), 1.0))
+        with pytest.raises(ValueError):
+            Histogram((float("inf"),))  # nothing finite left
+
+    def test_duplicate_bounds_collapse(self):
+        hist = Histogram((1.0, 1.0, 2.0))
+        assert hist.buckets == (1.0, 2.0)
+        assert len(hist.counts) == 3
+
 
 class TestMetricsRegistry:
     def test_counters_gauges_histograms(self):
@@ -172,6 +186,66 @@ class TestMetricsRegistry:
         assert a.merge_conflicts == 1
         assert a.as_dict()["histograms"]["h"]["counts"] == [1, 0]
 
+    def test_merge_rejects_malformed_counts(self, caplog):
+        a = MetricsRegistry()
+        a.observe("h", 0.5, buckets=(1.0,))
+        # Counts list not matching bounds+1: drop loudly, local untouched.
+        with caplog.at_level("WARNING"):
+            a.merge_dict(
+                {"histograms": {"h": {"buckets": [1.0], "counts": [1, 2, 3],
+                                      "sum": 9.0, "count": 6}}}
+            )
+        assert a.merge_conflicts == 1
+        assert "dropping histogram 'h'" in caplog.text
+        data = a.as_dict()["histograms"]["h"]
+        assert data["counts"] == [1, 0]
+        assert data["sum"] == pytest.approx(0.5)
+        assert data["count"] == 1
+
+    def test_merge_rejects_unbuildable_new_histogram(self):
+        a = MetricsRegistry()
+        # Unknown name whose payload layout is self-inconsistent: rejected,
+        # never materialized.
+        a.merge_dict(
+            {"histograms": {"bad": {"buckets": [], "counts": [1],
+                                    "sum": 1.0, "count": 1}}}
+        )
+        assert a.merge_conflicts == 1
+        assert "bad" not in a.as_dict()["histograms"]
+
+    def test_sanitized_name_collisions_get_suffixes(self):
+        reg = MetricsRegistry()
+        reg.inc("a.b", 1)
+        reg.inc("a_b", 2)
+        reg.set_gauge("a-b", 3.0)
+        text = reg.render_prometheus()
+        # Sorted order: "a-b" < "a.b" < "a_b"; first keeps the plain name.
+        assert "repro_a_b 3" in text
+        assert "repro_a_b_2_total 1" in text
+        assert "repro_a_b_3_total 2" in text
+        # No duplicate metric family names in the exposition.
+        families = [
+            line.split()[2] for line in text.splitlines()
+            if line.startswith("# TYPE")
+        ]
+        assert len(families) == len(set(families))
+
+    def test_render_nonfinite_values(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g.nan", float("nan"))
+        reg.set_gauge("g.inf", float("inf"))
+        reg.set_gauge("g.ninf", float("-inf"))
+        reg.observe("h", float("inf"), buckets=(1.0,))
+        text = reg.render_prometheus()
+        assert "repro_g_nan NaN" in text
+        assert "repro_g_inf +Inf" in text
+        assert "repro_g_ninf -Inf" in text
+        # An infinite observation lands in the overflow bucket; the sum is
+        # rendered in Prometheus spelling, not Python's 'inf'.
+        assert 'repro_h_bucket{le="+Inf"} 1' in text
+        assert "repro_h_sum +Inf" in text
+        assert "inf\n" not in text and " nan" not in text
+
     def test_module_helpers_disabled_by_default(self):
         metrics.inc("nope")
         metrics.set_gauge("nope", 1.0)
@@ -221,6 +295,72 @@ class TestCollect:
         assert [s["name"] for s in telemetry.spans] == ["a"]
         assert telemetry.phases == {"solve": 0.5}
         assert tracer.snapshot() == []  # drained
+
+    def test_multi_worker_histogram_payloads_accumulate_exactly(self):
+        metrics.enable()
+        buckets = (0.01, 0.1, 1.0)
+        observations = ([0.005, 0.05, 0.5], [0.02, 0.2, 2.0], [0.05, 5.0])
+        payloads = []
+        for values in observations:
+            # Each "worker" builds its own registry, as a pool worker would.
+            reg = MetricsRegistry()
+            for v in values:
+                reg.observe("leaf.seconds", v, buckets=buckets)
+            payloads.append(
+                collect.WorkerTelemetry(
+                    metrics={"counters": {}, "gauges": {},
+                             "histograms": {"leaf.seconds":
+                                            reg.histograms["leaf.seconds"].as_dict()}}
+                )
+            )
+        for payload in payloads:
+            collect.merge_worker_telemetry(payload)
+        merged = metrics.registry().as_dict()["histograms"]["leaf.seconds"]
+        every = [v for values in observations for v in values]
+        # Counts, sum, and count accumulate exactly across all workers.
+        assert merged["count"] == len(every)
+        assert merged["sum"] == pytest.approx(sum(every))
+        expected = Histogram(buckets)
+        for v in every:
+            expected.observe(v)
+        assert merged["counts"] == expected.counts
+        assert metrics.registry().merge_conflicts == 0
+
+    def test_mismatched_worker_bucket_layout_rejected_loudly(self, caplog):
+        metrics.enable()
+        metrics.observe("leaf.seconds", 0.5, buckets=(1.0,))
+        rogue = collect.WorkerTelemetry(
+            metrics={"counters": {}, "gauges": {},
+                     "histograms": {"leaf.seconds":
+                                    {"buckets": [0.5, 2.0], "counts": [1, 0, 0],
+                                     "sum": 0.4, "count": 1}}}
+        )
+        with caplog.at_level("WARNING"):
+            collect.merge_worker_telemetry(rogue)
+        assert metrics.registry().merge_conflicts == 1
+        assert "leaf.seconds" in caplog.text
+        local = metrics.registry().as_dict()["histograms"]["leaf.seconds"]
+        assert local["counts"] == [1, 0] and local["count"] == 1
+
+    def test_convergence_records_round_trip(self):
+        convergence.enable()
+        convergence.record_solve(convergence.SolveRecord(
+            solver="sdp", matrix_order=8, num_constraints=4, warm_start=True,
+            iterations=120, converged=True, objective=1.5,
+            primal_residual=1e-6, dual_residual=2e-6, solve_seconds=0.01,
+            projection_seconds=0.008, psd_identity_fraction=0.25,
+            samples=[{"iteration": 10, "objective": 2.0, "primal": 0.1,
+                      "dual": 0.2, "rho": 1.0}],
+        ))
+        telemetry = collect.capture_worker_telemetry()
+        assert len(telemetry.convergence) == 1
+        assert telemetry.convergence[0]["iterations"] == 120
+        # Capture drains the worker-side buffer.
+        assert convergence.snapshot()["solves"] == []
+        collect.merge_worker_telemetry(telemetry)
+        solves = convergence.snapshot()["solves"]
+        assert len(solves) == 1
+        assert solves[0]["samples"][0]["iteration"] == 10
 
 
 class TestEngineIntegration:
