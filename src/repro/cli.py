@@ -11,8 +11,21 @@ Subcommands mirror the repo's workflow::
     repro obs show runs.jsonl                  # convergence diagnostics
     repro obs diff old.jsonl new.jsonl         # compare two ledger entries
     repro obs check runs.jsonl --baseline base.jsonl  # regression gate
+    repro serve --port 8181                    # resident batch job server
+    repro bench-serve --benchmark adaptec1 --qps 8 --verify  # load replay
 
 Percentages follow the paper: ``--ratio 0.5`` means 0.5% of nets released.
+
+``repro run`` exit codes (documented in README):
+
+- **0** — clean success: the optimizer finished and the final solution
+  carries no via-capacity overflow;
+- **2** — usage error (bad arguments, unwritable output path);
+- **3** — capacity-overflow result: the optimizer finished but the final
+  solution still overflows via capacity (legal for the incremental
+  problem, but a downstream flow should know);
+- **4** — infeasible or invalid input: preparation or the optimizer
+  rejected the instance.
 """
 
 from __future__ import annotations
@@ -31,6 +44,12 @@ from repro.ispd.synthetic import generate
 from repro.ispd.writer import write_ispd08
 from repro.pipeline import compare, prepare, run_method
 from repro.utils.logging import configure_cli_logging
+
+# ``repro run`` exit codes — see the module docstring and README.
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_OVERFLOW = 3
+EXIT_INFEASIBLE = 4
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -108,6 +127,56 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--scale", type=float, default=1.0)
     p_eval.add_argument("-v", "--verbose", action="store_true")
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="resident batch job server (POST /v1/assign, GET /metrics)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8181,
+                       help="listen port (0 picks an ephemeral port)")
+    p_srv.add_argument("--max-queue", type=int, default=32,
+                       help="bounded queue depth; beyond it requests get 429")
+    p_srv.add_argument("--max-batch", type=int, default=8,
+                       help="max same-signature jobs served by one engine run")
+    p_srv.add_argument("--engine-cache", type=int, default=4,
+                       help="resident warm engines kept (LRU)")
+    p_srv.add_argument("--default-deadline-ms", type=float, default=120000.0,
+                       help="deadline applied to jobs that do not set one")
+    p_srv.add_argument("--max-scale", type=float, default=1.0,
+                       help="largest per-request benchmark scale admitted")
+    p_srv.add_argument("--max-workers", type=int, default=4,
+                       help="largest per-request worker count admitted")
+    p_srv.add_argument("-v", "--verbose", action="store_true")
+
+    p_bsv = sub.add_parser(
+        "bench-serve",
+        help="replay assignment requests against a server at a target QPS "
+             "and append a run-ledger entry with latency percentiles",
+    )
+    p_bsv.add_argument("--benchmark", default="adaptec1", choices=sorted(SUITE))
+    p_bsv.add_argument("--method", default="sdp",
+                       choices=["sdp", "ilp", "tila", "tila+flow"])
+    p_bsv.add_argument("--workers", type=int, default=0)
+    p_bsv.add_argument("--qps", type=float, default=8.0,
+                       help="open-loop request rate of the load phase")
+    p_bsv.add_argument("--requests", type=int, default=24,
+                       help="requests sent in the load phase")
+    p_bsv.add_argument("--concurrency", type=int, default=8,
+                       help="max in-flight requests in the load phase")
+    p_bsv.add_argument("--warmup", type=int, default=3,
+                       help="sequential warm requests measured before load")
+    p_bsv.add_argument("--url", default=None,
+                       help="existing server (http://host:port); default "
+                            "spins up an in-process server")
+    p_bsv.add_argument("--verify", action="store_true",
+                       help="also solve the problem in-process via the run "
+                            "path and require bit-identical assignments")
+    p_bsv.add_argument("--ledger", default=None, metavar="PATH",
+                       help="append the campaign as a run-ledger entry")
+    p_bsv.add_argument("--timeout", type=float, default=300.0,
+                       help="per-request client timeout in seconds")
+    _add_common(p_bsv)
+
     p_obs = sub.add_parser(
         "obs", help="run-ledger diagnostics (show / diff / check)"
     )
@@ -164,6 +233,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="max tolerated relative runtime increase (default: not gated — "
              "wall-clock is machine-dependent)",
     )
+    p_check.add_argument(
+        "--max-serve-p95-regression", type=float, default=None, metavar="FRAC",
+        help="max tolerated relative serving p95 latency increase for "
+             "bench-serve entries (default: not gated)",
+    )
+    p_check.add_argument(
+        "--min-warm-speedup", type=float, default=None, metavar="X",
+        help="fail unless the current bench-serve entry's cold/warm "
+             "latency ratio is at least X (default: not gated)",
+    )
     p_check.add_argument("-v", "--verbose", action="store_true")
 
     return parser
@@ -212,11 +291,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"ignored for method {args.method!r}",
             file=sys.stderr,
         )
-    bench = prepare(args.benchmark, scale=args.scale)
-    report = run_method(
-        bench, args.method, critical_ratio=args.ratio / 100.0,
-        cpla_config=cpla_config,
-    )
+    try:
+        bench = prepare(args.benchmark, scale=args.scale)
+        report = run_method(
+            bench, args.method, critical_ratio=args.ratio / 100.0,
+            cpla_config=cpla_config,
+        )
+    except (ValueError, KeyError) as exc:
+        print(f"infeasible or invalid input: {exc}", file=sys.stderr)
+        return EXIT_INFEASIBLE
     table = Table(["metric", "initial", "final"])
     table.add_row("Avg(Tcp)", report.initial_avg_tcp, report.final_avg_tcp)
     table.add_row("Max(Tcp)", report.initial_max_tcp, report.final_max_tcp)
@@ -226,6 +309,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"({len(report.critical_net_ids)} nets released)")
     print(table.render())
     print(f"runtime: {report.runtime:.2f}s")
+    from repro.ispd.request import assignment_digest
+
+    print(f"assignment digest: {assignment_digest(bench)}")
     if args.trace_out or args.metrics_out or args.ledger:
         print()
         print(report.observability_summary())
@@ -254,7 +340,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         write_routes(bench, args.routes_out)
         print(f"wrote solution to {args.routes_out}")
-    return 0
+    if report.final_via_overflow > 0:
+        print(
+            f"result carries via-capacity overflow "
+            f"({report.final_via_overflow} tracks); exit {EXIT_OVERFLOW}",
+            file=sys.stderr,
+        )
+        return EXIT_OVERFLOW
+    return EXIT_OK
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -351,6 +444,8 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         iterations_p90=args.max_iterations_regression,
         nonconverged_fraction=args.max_nonconverged_increase,
         runtime=args.max_runtime_regression,
+        serve_p95_latency=args.max_serve_p95_regression,
+        min_warm_speedup=args.min_warm_speedup,
     )
     violations = run_ledger.check_entries(baseline, current, thresholds)
     label = f"{current.get('benchmark')}/{current.get('method')}"
@@ -367,6 +462,65 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import ServeConfig, run_server
+
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            max_queue=args.max_queue,
+            max_batch=args.max_batch,
+            engine_cache=args.engine_cache,
+            default_deadline_ms=args.default_deadline_ms,
+            max_scale=args.max_scale,
+            max_workers=args.max_workers,
+        )
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        return asyncio.run(run_server(config))
+    except KeyboardInterrupt:  # signal handler unavailable (rare platforms)
+        return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.obs import ledger as run_ledger
+    from repro.service import LoadGenConfig, render_summary, run_loadgen
+
+    config = LoadGenConfig(
+        benchmark=args.benchmark,
+        scale=args.scale,
+        ratio_percent=args.ratio,
+        method=args.method,
+        workers=args.workers,
+        qps=args.qps,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        warmup=args.warmup,
+        timeout_seconds=args.timeout,
+        verify=args.verify,
+        url=args.url,
+    )
+    try:
+        result = run_loadgen(config)
+    except (RuntimeError, ValueError, OSError) as exc:
+        print(f"bench-serve: {exc}", file=sys.stderr)
+        return 1
+    print(render_summary(result))
+    if args.ledger:
+        run_ledger.append_entry(args.ledger, result.entry)
+        print(f"appended serve-ledger entry to {args.ledger}")
+    if not result.passed:
+        print("bench-serve FAILED (inconsistent, erroring, or unverified "
+              "responses; see summary above)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     configure_cli_logging(getattr(args, "verbose", False))
@@ -378,6 +532,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "density": _cmd_density,
         "evaluate": _cmd_evaluate,
         "obs": _cmd_obs,
+        "serve": _cmd_serve,
+        "bench-serve": _cmd_bench_serve,
     }
     return handlers[args.command](args)
 

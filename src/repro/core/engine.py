@@ -22,6 +22,8 @@ paper's OpenMP parallelism.
 
 from __future__ import annotations
 
+import atexit
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
@@ -92,21 +94,40 @@ def _solve_pooled_leaf(problem):
     return _solve_leaf_task(_POOL_SOLVER, _POOL_CAPTURE, problem)
 
 
+# Every live pool, so one atexit hook can reap executors that callers
+# forgot to close.  A leaked ProcessPoolExecutor otherwise blocks
+# interpreter shutdown in concurrent.futures' own exit handler — fatal for
+# a long-lived server process that constructs engines per request.
+_LIVE_POOLS: "weakref.WeakSet[LeafSolvePool]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_leaked_pools() -> None:  # pragma: no cover - exit-time guard
+    for pool in list(_LIVE_POOLS):
+        pool.close()
+
+
 class LeafSolvePool:
     """Lifecycle manager of the persistent leaf-solve process pool.
 
     The previous implementation built a fresh ``ProcessPoolExecutor`` for
     every Jacobi pass and re-pickled the solver with every task.  This
-    manager creates the pool once per engine run (lazily, on the first
-    parallel solve), ships the solver to each worker through the pool
-    initializer, and chunks leaf submissions.  Worker-resident solvers keep
-    their warm-start caches across engine iterations — pool persistence is
-    what makes SDP warm starting effective in parallel mode.
+    manager creates the pool once (lazily, on the first parallel solve),
+    ships the solver to each worker through the pool initializer, and
+    chunks leaf submissions.  Worker-resident solvers keep their warm-start
+    caches across engine iterations *and* across back-to-back engine runs —
+    pool persistence is what makes SDP warm starting effective in parallel
+    mode and what lets a resident server skip process spawning per request.
 
     Any pool failure (creation, task pickling, a died worker) permanently
-    downgrades the run: :meth:`map` returns ``None``, the caller solves
+    downgrades the pool: :meth:`map` returns ``None``, the caller solves
     sequentially, and the failure is logged and counted in the
     ``engine.pool_failures`` metric.
+
+    Pools are context managers, expose :meth:`close`, and are tracked in a
+    module-level registry with an ``atexit`` guard, so repeatedly
+    constructing engines in one process (as the job server does) cannot
+    leak executors even on sloppy teardown.
     """
 
     def __init__(self, workers: int, solver) -> None:
@@ -114,6 +135,7 @@ class LeafSolvePool:
         self._solver = solver
         self._pool: Optional[ProcessPoolExecutor] = None
         self._broken = False
+        _LIVE_POOLS.add(self)
 
     def map(self, problems) -> Optional[list]:
         """Solve the leaf problems in the pool; ``None`` means "do it yourself"."""
@@ -152,6 +174,17 @@ class LeafSolvePool:
                 pool.shutdown(wait=True, cancel_futures=True)
             except Exception:  # pragma: no cover - best-effort teardown
                 log.debug("pool shutdown failed", exc_info=True)
+
+    # ``close`` is the lifecycle-idiomatic spelling; ``shutdown`` stays for
+    # existing callers.
+    def close(self) -> None:
+        self.shutdown()
+
+    def __enter__(self) -> "LeafSolvePool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def _is_improvement(
@@ -253,20 +286,55 @@ class CPLAEngine:
     # -- public API -------------------------------------------------------
 
     def run(self) -> CPLAReport:
-        try:
-            with tracer.span(
-                "engine.run", benchmark=self.bench.name, method=self.config.method
-            ):
-                report = self._run()
-        finally:
-            if self._pool is not None:
-                self._pool.shutdown()
-                self._pool = None
+        """One full optimization pass; safe to call repeatedly.
+
+        The engine is reusable: the leaf-solve pool and the solver's
+        warm-start caches survive between calls (that reuse is
+        deterministic — a warm rerun produces the bit-identical assignment
+        a fresh engine would, see tests/test_engine_reuse.py), so a
+        resident server can run back-to-back requests without paying pool
+        spawning or cold ADMM starts again.  Call :meth:`close` (or use
+        the engine as a context manager) when done with it.
+        """
+        with tracer.span(
+            "engine.run", benchmark=self.bench.name, method=self.config.method
+        ):
+            report = self._run()
         if metrics.is_enabled():
             report.metrics = metrics.registry().as_dict()
         if convergence.is_enabled():
             report.convergence = convergence.snapshot()
         return report
+
+    def close(self) -> None:
+        """Release the leaf-solve pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "CPLAEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def snapshot_layers(self) -> Dict[SegKey, int]:
+        """Layer assignment of *every* net (not just the released set).
+
+        Together with :meth:`restore_layers` this lets a caller checkpoint
+        the post-``prepare`` state and rewind to it between runs — the
+        resident serving layer rewinds the shared benchmark instead of
+        re-routing it for every request.
+        """
+        return self._snapshot_layers(self.bench.nets)
+
+    def restore_layers(self, layers: Dict[SegKey, int]) -> None:
+        """Rewind every net to a :meth:`snapshot_layers` checkpoint.
+
+        Grid occupancy is kept consistent by releasing and re-committing
+        each net, and the timing cache is invalidated for all of them.
+        """
+        self._restore_layers(self.bench.nets, layers)
 
     def _run(self) -> CPLAReport:
         cfg = self.config

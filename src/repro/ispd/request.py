@@ -1,0 +1,222 @@
+"""Wire format of the serving layer: assign requests, responses, digests.
+
+One ``POST /v1/assign`` body describes a complete layer-assignment problem
+by *reference* — a suite benchmark name plus the knobs that make runs
+comparable (scale, critical ratio, method, workers).  The synthetic suite
+is deterministic per ``(name, scale)``, so the reference fully determines
+the problem instance; the server prepares (or reuses) it and the response
+carries the optimized quality numbers plus a canonical digest of the full
+layer assignment, so any client can check bit-identity against a local
+``repro run`` without shipping megabytes of layers back.
+
+Schemas: ``repro.assign_request/v1`` in, ``repro.assign_response/v1`` out.
+Unknown request keys are rejected loudly (a typoed knob silently falling
+back to a default would gate the wrong run).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.ispd.benchmark import Benchmark
+from repro.ispd.suite import SUITE
+
+REQUEST_SCHEMA = "repro.assign_request/v1"
+RESPONSE_SCHEMA = "repro.assign_response/v1"
+
+METHODS = ("sdp", "ilp", "tila", "tila+flow")
+
+_REQUEST_KEYS = {
+    "schema", "benchmark", "scale", "ratio_percent", "method", "workers",
+    "deadline_ms", "return_assignment",
+}
+
+
+class RequestError(ValueError):
+    """A malformed or out-of-policy assign request (maps to HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class AssignRequest:
+    """One layer-assignment job, as posted to ``/v1/assign``.
+
+    ``signature()`` identifies the *problem and solving mode*: requests
+    with equal signatures are guaranteed the bit-identical assignment, so
+    the batch scheduler may solve one and fan the result out ("dedup"),
+    and the engine host keys its resident warm state by it.  ``workers``
+    is part of the signature because sequential (Gauss–Seidel) and pooled
+    (Jacobi) solves legitimately produce different — both valid —
+    assignments.
+    """
+
+    benchmark: str
+    scale: float = 1.0
+    ratio_percent: float = 0.5
+    method: str = "sdp"
+    workers: int = 0
+    deadline_ms: Optional[float] = None
+    return_assignment: bool = False
+
+    @classmethod
+    def from_json(cls, payload: Any) -> "AssignRequest":
+        """Parse and validate one request body (raises :class:`RequestError`)."""
+        if not isinstance(payload, dict):
+            raise RequestError("request body must be a JSON object")
+        schema = payload.get("schema", REQUEST_SCHEMA)
+        if schema != REQUEST_SCHEMA:
+            raise RequestError(
+                f"schema {schema!r} is not {REQUEST_SCHEMA!r}"
+            )
+        unknown = sorted(set(payload) - _REQUEST_KEYS)
+        if unknown:
+            raise RequestError(f"unknown request keys: {unknown}")
+        benchmark = payload.get("benchmark")
+        if not isinstance(benchmark, str) or benchmark not in SUITE:
+            raise RequestError(
+                f"benchmark {benchmark!r} is not in the suite "
+                f"({', '.join(sorted(SUITE))})"
+            )
+        method = payload.get("method", "sdp")
+        if method not in METHODS:
+            raise RequestError(
+                f"method {method!r} is not one of {METHODS}"
+            )
+        scale = _number(payload, "scale", 1.0)
+        if not 0 < scale:
+            raise RequestError("scale must be > 0")
+        ratio = _number(payload, "ratio_percent", 0.5)
+        if not 0 < ratio <= 100:
+            raise RequestError("ratio_percent must be in (0, 100]")
+        workers = payload.get("workers", 0)
+        if not isinstance(workers, int) or workers < 0:
+            raise RequestError("workers must be a non-negative integer")
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is not None:
+            deadline_ms = _number(payload, "deadline_ms", 0.0)
+            if deadline_ms <= 0:
+                raise RequestError("deadline_ms must be > 0")
+        return_assignment = payload.get("return_assignment", False)
+        if not isinstance(return_assignment, bool):
+            raise RequestError("return_assignment must be a boolean")
+        return cls(
+            benchmark=benchmark,
+            scale=scale,
+            ratio_percent=ratio,
+            method=method,
+            workers=workers,
+            deadline_ms=deadline_ms,
+            return_assignment=return_assignment,
+        )
+
+    def signature(self) -> Tuple[str, float, float, str, int]:
+        return (
+            self.benchmark, self.scale, self.ratio_percent,
+            self.method, self.workers,
+        )
+
+    def signature_key(self) -> str:
+        b, s, r, m, w = self.signature()
+        return f"{b}|scale={s:g}|ratio={r:g}|{m}|workers={w}"
+
+    def to_json(self) -> Dict[str, Any]:
+        body: Dict[str, Any] = {
+            "schema": REQUEST_SCHEMA,
+            "benchmark": self.benchmark,
+            "scale": self.scale,
+            "ratio_percent": self.ratio_percent,
+            "method": self.method,
+            "workers": self.workers,
+        }
+        if self.deadline_ms is not None:
+            body["deadline_ms"] = self.deadline_ms
+        if self.return_assignment:
+            body["return_assignment"] = True
+        return body
+
+
+def _number(payload: Dict[str, Any], key: str, default: float) -> float:
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise RequestError(f"{key} must be a number")
+    return float(value)
+
+
+# -- assignment serialization ------------------------------------------------
+
+
+def extract_assignment(bench: Benchmark) -> Dict[str, List[int]]:
+    """Net id -> per-segment layer list, for every net of the benchmark."""
+    return {
+        str(net.id): [seg.layer for seg in net.topology.segments]
+        for net in bench.nets
+    }
+
+
+def assignment_digest(bench: Benchmark) -> str:
+    """Canonical digest of the complete layer assignment.
+
+    Stable across processes: nets sorted by id, segments in topology
+    order.  Two solves agree on this digest iff their assignments are
+    bit-identical — it is the currency of the serve-vs-run equivalence
+    checks.
+    """
+    h = hashlib.sha256()
+    for net in sorted(bench.nets, key=lambda n: n.id):
+        h.update(str(net.id).encode("ascii"))
+        h.update(b":")
+        h.update(
+            ",".join(str(seg.layer) for seg in net.topology.segments).encode("ascii")
+        )
+        h.update(b";")
+    return "sha256:" + h.hexdigest()
+
+
+def build_response(
+    request: AssignRequest,
+    report: Any,
+    digest: str,
+    assignment: Optional[Dict[str, List[int]]] = None,
+    serving: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The ``/v1/assign`` success body for one solved request."""
+    body: Dict[str, Any] = {
+        "schema": RESPONSE_SCHEMA,
+        "benchmark": request.benchmark,
+        "method": request.method,
+        "scale": request.scale,
+        "ratio_percent": request.ratio_percent,
+        "workers": request.workers,
+        "quality": {
+            "initial_avg_tcp": report.initial_avg_tcp,
+            "final_avg_tcp": report.final_avg_tcp,
+            "initial_max_tcp": report.initial_max_tcp,
+            "final_max_tcp": report.final_max_tcp,
+            "initial_via_overflow": report.initial_via_overflow,
+            "final_via_overflow": report.final_via_overflow,
+            "initial_vias": report.initial_vias,
+            "final_vias": report.final_vias,
+        },
+        "result_class": (
+            "overflow" if report.final_via_overflow > 0 else "ok"
+        ),
+        "released_nets": len(report.critical_net_ids),
+        "assignment_digest": digest,
+        "runtime_seconds": round(report.runtime, 6),
+        "phases": {
+            k: round(v, 6) for k, v in sorted(report.clock.totals.items())
+        },
+    }
+    if assignment is not None:
+        body["assignment"] = assignment
+    if serving is not None:
+        body["serving"] = serving
+    return body
+
+
+def error_body(kind: str, message: str, **extra: Any) -> Dict[str, Any]:
+    """Structured error payload shared by every non-2xx response."""
+    err: Dict[str, Any] = {"type": kind, "message": message}
+    err.update(extra)
+    return {"schema": RESPONSE_SCHEMA, "error": err}

@@ -213,6 +213,26 @@ def render_entry(entry: Dict[str, Any]) -> str:
             "  worker phases: "
             + "  ".join(f"{k}={v:.2f}s" for k, v in sorted(worker_phases.items()))
         )
+    serving = entry.get("serving")
+    if serving:
+        lat = serving.get("latency_ms", {})
+        req = serving.get("requests", {})
+        depth = serving.get("queue_depth", {})
+        lines.extend([
+            "serving:",
+            f"  latency p50/p95/p99  {lat.get('p50', 0.0):.0f}/"
+            f"{lat.get('p95', 0.0):.0f}/{lat.get('p99', 0.0):.0f} ms",
+            f"  cold -> warm         {serving.get('first_request_ms', 0.0):.0f}"
+            f" -> {serving.get('warm_request_ms', 0.0):.0f} ms  "
+            f"(speedup {serving.get('warm_speedup', 0.0):.2f}x)",
+            f"  throughput           {serving.get('throughput_qps', 0.0):.2f} "
+            f"qps (target {serving.get('target_qps', 0.0):g})",
+            f"  requests             {req.get('ok', 0)} ok, "
+            f"{req.get('rejected_429', 0)} rejected, "
+            f"{req.get('errors', 0)} errors, {req.get('deduped', 0)} deduped",
+            f"  queue depth p50/p95/max  {depth.get('p50', 0):g}/"
+            f"{depth.get('p95', 0):g}/{depth.get('max', 0):g}",
+        ])
     lines.append(convergence.summary_text(entry.get("convergence", {})))
     return "\n".join(lines)
 
@@ -227,6 +247,12 @@ _DIFF_FIELDS = (
     ("solver iterations p90", ("convergence", "solves", "iterations", "p90")),
     ("non-converged partitions", ("convergence", "partitions", "nonconverged")),
     ("overflow events", ("convergence", "partitions", "overflow_events")),
+    # Serving entries (``repro bench-serve``): absent from solve runs, and
+    # _lookup simply skips missing paths.
+    ("serve p50 latency ms", ("serving", "latency_ms", "p50")),
+    ("serve p95 latency ms", ("serving", "latency_ms", "p95")),
+    ("serve throughput qps", ("serving", "throughput_qps")),
+    ("serve warm speedup", ("serving", "warm_speedup")),
 )
 
 
@@ -279,6 +305,13 @@ class CheckThresholds:
     iterations_p90: Optional[float] = 0.5
     nonconverged_fraction: Optional[float] = 0.10  # absolute increase
     runtime: Optional[float] = None
+    # Serving entries only (``repro bench-serve``).  p95 latency shares
+    # runtime's caveat (machine-dependent; CI opts in generously);
+    # ``min_warm_speedup`` is an absolute floor on the current entry's
+    # cold/warm latency ratio — it needs no baseline and proves resident
+    # warm state is actually being reused.
+    serve_p95_latency: Optional[float] = None
+    min_warm_speedup: Optional[float] = None
 
 
 def check_entries(
@@ -316,6 +349,25 @@ def check_entries(
         ("convergence", "solves", "iterations", "p90"),
         thr.iterations_p90,
     )
+    gate(
+        "serving p95 latency",
+        ("serving", "latency_ms", "p95"),
+        thr.serve_p95_latency,
+    )
+
+    if thr.min_warm_speedup is not None:
+        speedup = _lookup(current, ("serving", "warm_speedup"))
+        if speedup is None:
+            violations.append(
+                "warm-speedup gate requested but the current entry has no "
+                "serving.warm_speedup (not a bench-serve entry?)"
+            )
+        elif speedup < thr.min_warm_speedup:
+            violations.append(
+                f"serving warm speedup {speedup:.2f}x is below the "
+                f"{thr.min_warm_speedup:.2f}x floor (resident warm state "
+                "not being reused?)"
+            )
 
     if thr.nonconverged_fraction is not None:
         def frac(entry: Dict[str, Any]) -> Optional[float]:

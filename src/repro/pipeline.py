@@ -80,7 +80,11 @@ def run_method(
             config = cpla_config or CPLAConfig()
             config.method = method
             config.critical_ratio = critical_ratio
-            return CPLAEngine(bench, config, timing_config).run()
+            # One-shot call: close the engine (and its worker pool) when
+            # done.  Callers wanting a resident, reusable engine construct
+            # CPLAEngine directly (see repro.service.resident).
+            with CPLAEngine(bench, config, timing_config) as engine:
+                return engine.run()
         if method in ("tila", "tila+flow"):
             config = tila_config or TILAConfig()
             config.engine = "dp" if method == "tila" else "dp+flow"

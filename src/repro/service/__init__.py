@@ -1,0 +1,61 @@
+"""Serving layer: a resident async batch job server over the optimizers.
+
+The one-shot CLI pays process startup, routing, pool spawning, and cold
+ADMM starts on every invocation.  This package keeps all of that state
+**resident** and serves assignment requests over HTTP:
+
+- :mod:`repro.service.jobs` — bounded job queue with backpressure (429 +
+  ``Retry-After``), per-job deadlines, and cancellation of expired work;
+- :mod:`repro.service.resident` — prepared benchmarks + warm engines
+  (Elmore fingerprint cache, ADMM warm-start ``X`` cache, persistent
+  :class:`~repro.core.engine.LeafSolvePool`) cached per problem
+  signature in a capacity-bounded LRU;
+- :mod:`repro.service.batcher` — single-dispatcher batch scheduler that
+  dedups same-signature jobs into one engine run and fans the result out;
+- :mod:`repro.service.server` — the asyncio HTTP front (``/v1/assign``,
+  ``/metrics``, ``/healthz``, ``/readyz``, ``/v1/drain``) with graceful
+  SIGTERM drain and crash-isolated request handling;
+- :mod:`repro.service.loadgen` — the ``repro bench-serve`` load
+  generator, which writes ``repro.run_ledger/v1`` entries so serving
+  regressions gate in CI exactly like solve regressions.
+
+Serving is exact: a served assignment is bit-identical to the same
+problem solved by ``repro run`` (checked by ``bench-serve --verify`` and
+the test suite).  See ``docs/SERVING.md``.
+"""
+
+from __future__ import annotations
+
+from repro.service.batcher import BatchScheduler, JobFailed
+from repro.service.jobs import Job, JobExpired, JobQueue, QueueClosed, QueueFull
+from repro.service.loadgen import (
+    LoadGenConfig,
+    LoadGenResult,
+    ServerThread,
+    http_request,
+    render_summary,
+    run_loadgen,
+)
+from repro.service.resident import EngineHost, ResidentEngine
+from repro.service.server import AssignServer, ServeConfig, run_server
+
+__all__ = [
+    "AssignServer",
+    "BatchScheduler",
+    "EngineHost",
+    "Job",
+    "JobExpired",
+    "JobFailed",
+    "JobQueue",
+    "LoadGenConfig",
+    "LoadGenResult",
+    "QueueClosed",
+    "QueueFull",
+    "ResidentEngine",
+    "ServeConfig",
+    "ServerThread",
+    "http_request",
+    "render_summary",
+    "run_loadgen",
+    "run_server",
+]

@@ -1,0 +1,437 @@
+"""Load generator for the assign server (``repro bench-serve``).
+
+Replays synthetic ISPD assignment requests against a server — an external
+one (``--url``) or a private in-process instance spun up on an ephemeral
+port — in three phases:
+
+1. **cold**: one request against the empty server; measures the
+   first-request latency (engine build: routing + pool spawn + cold ADMM);
+2. **warm**: a few sequential requests; their median is the resident
+   warm-path latency, and ``warm_speedup = cold / warm`` is the number the
+   CI gate watches — it proves the resident state is actually reused;
+3. **load**: an open-loop run at the target QPS with bounded concurrency;
+   yields the latency percentiles, achieved throughput, queue-depth
+   percentiles, and the 429/error counts.
+
+Every successful response's assignment digest must agree, and with
+``verify=True`` the digest is also checked against an in-process
+``repro run`` of the identical problem — the serve path must be
+bit-identical to the CLI path.
+
+The result is appended to a run ledger as a ``repro.run_ledger/v1`` entry
+(method ``serve:<method>`` so it never cross-matches solve baselines) and
+gated in CI by ``repro obs check`` exactly like solve regressions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import statistics
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.ispd.request import AssignRequest, assignment_digest
+from repro.obs import ledger as run_ledger
+from repro.service.server import AssignServer, ServeConfig
+from repro.utils import get_logger
+
+log = get_logger(__name__)
+
+
+# -- minimal asyncio HTTP client ---------------------------------------------
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[Dict[str, Any]] = None,
+    timeout: float = 300.0,
+) -> Tuple[int, Any]:
+    """One HTTP/1.1 exchange; returns (status, parsed JSON or text)."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout=timeout
+    )
+    try:
+        blob = json.dumps(body).encode("utf-8") if body is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(blob)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + blob)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout=timeout)
+    finally:
+        writer.close()
+    header_blob, _, payload = raw.partition(b"\r\n\r\n")
+    lines = header_blob.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    text = payload.decode("utf-8", errors="replace")
+    content_type = ""
+    for line in lines[1:]:
+        if line.lower().startswith("content-type:"):
+            content_type = line.split(":", 1)[1].strip()
+    if content_type.startswith("application/json") and text.strip():
+        return status, json.loads(text)
+    return status, text
+
+
+# -- in-process server host --------------------------------------------------
+
+
+class ServerThread:
+    """An :class:`AssignServer` on a background thread with its own loop."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig(port=0)
+        self.port: Optional[int] = None
+        self._ready = threading.Event()
+        self._failed: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="assign-server", daemon=True
+        )
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surfaced to the waiting starter
+            self._failed = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        server = AssignServer(self.config)
+        await server.start()
+        self.port = server.port
+        self._ready.set()
+        await server.serve_forever(install_signals=False)
+
+    def start(self, timeout: float = 60.0) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("in-process server did not come up")
+        if self._failed is not None:
+            raise RuntimeError(f"in-process server failed: {self._failed!r}")
+        return self
+
+    def stop(self, timeout: float = 120.0) -> None:
+        if self.port is not None and self._thread.is_alive():
+            try:
+                asyncio.run(
+                    http_request(
+                        self.config.host, self.port, "POST", "/v1/drain"
+                    )
+                )
+            except OSError:
+                pass
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+# -- load generation ---------------------------------------------------------
+
+
+@dataclass
+class LoadGenConfig:
+    """One bench-serve campaign."""
+
+    benchmark: str = "adaptec1"
+    scale: float = 0.2
+    ratio_percent: float = 0.5
+    method: str = "sdp"
+    workers: int = 0
+    qps: float = 8.0
+    requests: int = 24
+    concurrency: int = 8
+    warmup: int = 3
+    timeout_seconds: float = 300.0
+    verify: bool = False
+    url: Optional[str] = None  # None -> spawn an in-process server
+    max_queue: int = 32
+    max_batch: int = 8
+
+    def assign_body(self) -> Dict[str, Any]:
+        return AssignRequest(
+            benchmark=self.benchmark,
+            scale=self.scale,
+            ratio_percent=self.ratio_percent,
+            method=self.method,
+            workers=self.workers,
+        ).to_json()
+
+
+@dataclass
+class LoadGenResult:
+    """Everything a campaign measured, plus the ledger entry built from it."""
+
+    entry: Dict[str, Any]
+    ok: int = 0
+    rejected: int = 0
+    errors: int = 0
+    digests: List[str] = field(default_factory=list)
+    verified: Optional[bool] = None
+
+    @property
+    def consistent(self) -> bool:
+        return len(set(self.digests)) <= 1
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.ok > 0
+            and self.errors == 0
+            and self.consistent
+            and self.verified is not False
+        )
+
+
+def _percentile(values: List[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
+    return ordered[index]
+
+
+def _parse_url(url: str) -> Tuple[str, int]:
+    trimmed = url.strip()
+    for prefix in ("http://", "https://"):
+        if trimmed.startswith(prefix):
+            trimmed = trimmed[len(prefix):]
+    trimmed = trimmed.rstrip("/")
+    host, _, port_text = trimmed.partition(":")
+    if not host or not port_text.isdigit():
+        raise ValueError(f"--url must look like http://host:port, got {url!r}")
+    return host, int(port_text)
+
+
+async def _campaign(
+    cfg: LoadGenConfig, host: str, port: int
+) -> Dict[str, Any]:
+    """Run the three phases; returns the raw measurement dict."""
+    body = cfg.assign_body()
+
+    async def send() -> Tuple[float, int, Any]:
+        started = time.monotonic()
+        status, payload = await http_request(
+            host, port, "POST", "/v1/assign", body,
+            timeout=cfg.timeout_seconds,
+        )
+        return 1000.0 * (time.monotonic() - started), status, payload
+
+    log.info("cold request (engine build) ...")
+    cold_ms, cold_status, cold_payload = await send()
+    if cold_status != 200:
+        raise RuntimeError(
+            f"cold request failed with HTTP {cold_status}: {cold_payload}"
+        )
+
+    warm_samples: List[float] = []
+    warm_payloads: List[Any] = []
+    for _ in range(max(cfg.warmup, 1)):
+        ms, status, payload = await send()
+        if status != 200:
+            raise RuntimeError(f"warm request failed with HTTP {status}")
+        warm_samples.append(ms)
+        warm_payloads.append(payload)
+
+    log.info(
+        "cold %.0fms -> warm %.0fms; starting load phase "
+        "(%d requests at %.1f qps, concurrency %d)",
+        cold_ms, statistics.median(warm_samples),
+        cfg.requests, cfg.qps, cfg.concurrency,
+    )
+
+    gate = asyncio.Semaphore(cfg.concurrency)
+    results: List[Tuple[float, int, Any]] = []
+
+    async def fire(delay: float) -> None:
+        await asyncio.sleep(delay)
+        async with gate:
+            try:
+                results.append(await send())
+            except (OSError, asyncio.TimeoutError) as exc:
+                results.append((0.0, -1, {"error": {"message": str(exc)}}))
+
+    load_started = time.monotonic()
+    interval = 1.0 / cfg.qps if cfg.qps > 0 else 0.0
+    await asyncio.gather(
+        *(fire(i * interval) for i in range(cfg.requests))
+    )
+    load_seconds = time.monotonic() - load_started
+
+    return {
+        "cold": (cold_ms, cold_payload),
+        "warm": (warm_samples, warm_payloads),
+        "load": results,
+        "load_seconds": load_seconds,
+    }
+
+
+def _local_digest(cfg: LoadGenConfig) -> str:
+    """Digest of the identical problem solved via the one-shot CLI path."""
+    from repro.core.engine import CPLAConfig
+    from repro.pipeline import prepare, run_method
+
+    bench = prepare(cfg.benchmark, scale=cfg.scale)
+    cpla_config = (
+        CPLAConfig(workers=cfg.workers)
+        if cfg.workers and cfg.method in ("sdp", "ilp")
+        else None
+    )
+    run_method(
+        bench, cfg.method,
+        critical_ratio=cfg.ratio_percent / 100.0,
+        cpla_config=cpla_config,
+    )
+    return assignment_digest(bench)
+
+
+def run_loadgen(cfg: LoadGenConfig) -> LoadGenResult:
+    """Execute one campaign and build its ledger entry."""
+    server: Optional[ServerThread] = None
+    if cfg.url:
+        host, port = _parse_url(cfg.url)
+    else:
+        server = ServerThread(
+            ServeConfig(
+                port=0,
+                max_queue=cfg.max_queue,
+                max_batch=cfg.max_batch,
+                max_workers=max(4, cfg.workers),
+            )
+        ).start()
+        host, port = server.config.host, server.port  # type: ignore[assignment]
+    try:
+        measured = asyncio.run(_campaign(cfg, host, port))
+    finally:
+        if server is not None:
+            server.stop()
+
+    cold_ms, cold_payload = measured["cold"]
+    warm_samples, warm_payloads = measured["warm"]
+    warm_ms = statistics.median(warm_samples)
+
+    result = LoadGenResult(entry={})
+    latencies: List[float] = []
+    depths: List[float] = []
+    deduped = 0
+    for ms, status, payload in measured["load"]:
+        if status == 200:
+            result.ok += 1
+            latencies.append(ms)
+            serving = payload.get("serving", {})
+            depths.append(float(serving.get("queue_depth", 0)))
+            if serving.get("deduped"):
+                deduped += 1
+            result.digests.append(payload.get("assignment_digest", ""))
+        elif status == 429:
+            result.rejected += 1
+        else:
+            result.errors += 1
+    for payload in [cold_payload] + warm_payloads:
+        result.digests.append(payload.get("assignment_digest", ""))
+
+    if cfg.verify:
+        log.info("verifying against an in-process repro run ...")
+        local = _local_digest(cfg)
+        result.verified = bool(result.digests) and all(
+            d == local for d in result.digests
+        )
+
+    load_seconds = measured["load_seconds"]
+    entry: Dict[str, Any] = {
+        "schema": run_ledger.SCHEMA,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "benchmark": cfg.benchmark,
+        # Prefixed so serve entries only ever gate against serve baselines.
+        "method": f"serve:{cfg.method}",
+        "critical_ratio": cfg.ratio_percent / 100.0,
+        "fingerprint": run_ledger.fingerprint({
+            "benchmark": cfg.benchmark,
+            "scale": cfg.scale,
+            "ratio_percent": cfg.ratio_percent,
+            "method": cfg.method,
+            "workers": cfg.workers,
+            "qps": cfg.qps,
+            "requests": cfg.requests,
+            "concurrency": cfg.concurrency,
+        }),
+        "quality": dict(cold_payload.get("quality", {})),
+        "runtime": {
+            "total_seconds": round(load_seconds, 4),
+            "phases": {
+                k: round(float(v), 4)
+                for k, v in cold_payload.get("phases", {}).items()
+            },
+        },
+        "serving": {
+            "latency_ms": {
+                "p50": round(_percentile(latencies, 0.50), 3),
+                "p95": round(_percentile(latencies, 0.95), 3),
+                "p99": round(_percentile(latencies, 0.99), 3),
+                "mean": round(statistics.fmean(latencies), 3) if latencies else 0.0,
+                "max": round(max(latencies), 3) if latencies else 0.0,
+            },
+            "first_request_ms": round(cold_ms, 3),
+            "warm_request_ms": round(warm_ms, 3),
+            "warm_speedup": round(cold_ms / warm_ms, 4) if warm_ms else 0.0,
+            "throughput_qps": (
+                round(result.ok / load_seconds, 3) if load_seconds else 0.0
+            ),
+            "target_qps": cfg.qps,
+            "requests": {
+                "sent": cfg.requests,
+                "ok": result.ok,
+                "rejected_429": result.rejected,
+                "errors": result.errors,
+                "deduped": deduped,
+            },
+            "queue_depth": {
+                "p50": _percentile(depths, 0.50),
+                "p95": _percentile(depths, 0.95),
+                "max": max(depths) if depths else 0.0,
+            },
+            "digest_consistent": result.consistent,
+            "verified_against_run": result.verified,
+        },
+    }
+    result.entry = entry
+    return result
+
+
+def render_summary(result: LoadGenResult) -> str:
+    """Human-readable campaign report for the CLI."""
+    s = result.entry["serving"]
+    lat = s["latency_ms"]
+    req = s["requests"]
+    lines = [
+        f"bench-serve {result.entry['benchmark']}/{result.entry['method']}",
+        f"  cold {s['first_request_ms']:.0f}ms -> warm "
+        f"{s['warm_request_ms']:.0f}ms  (speedup {s['warm_speedup']:.2f}x)",
+        f"  load: {req['ok']}/{req['sent']} ok, {req['rejected_429']} "
+        f"rejected (429), {req['errors']} errors, {req['deduped']} deduped",
+        f"  latency p50/p95/p99: {lat['p50']:.0f}/{lat['p95']:.0f}/"
+        f"{lat['p99']:.0f} ms   throughput {s['throughput_qps']:.2f} qps "
+        f"(target {s['target_qps']:g})",
+        f"  queue depth p50/p95/max: {s['queue_depth']['p50']:g}/"
+        f"{s['queue_depth']['p95']:g}/{s['queue_depth']['max']:g}",
+        f"  digests consistent: {result.consistent}"
+        + (
+            f", verified vs repro run: {result.verified}"
+            if result.verified is not None else ""
+        ),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Resident engines: warm, reusable solver state shared across requests.
+
+One :class:`ResidentEngine` owns everything a problem signature needs to
+be served repeatedly without paying cold-start costs again:
+
+- the **prepared benchmark** (2-D routing, topology, initial DP layer
+  assignment) and a layer checkpoint taken right after preparation, so the
+  instance can be rewound instead of re-routed per request;
+- for the CPLA methods, a long-lived :class:`~repro.core.engine.CPLAEngine`
+  whose Elmore fingerprint cache, per-partition ADMM warm-start ``X``
+  cache, and persistent :class:`~repro.core.engine.LeafSolvePool` all
+  survive between runs.
+
+Engine reuse is deterministic (warm rerun == fresh run, bit-identical;
+enforced by tests/test_engine_reuse.py), so serving through a resident
+engine returns exactly what a one-shot ``repro run`` would — just faster
+from the second request on.
+
+:class:`EngineHost` is the LRU of residents, capacity-bounded because each
+CPLA resident may hold a process pool.  It is driven from the batch
+scheduler's single engine thread; it is not itself thread-safe.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.runreport import RunReport
+from repro.core.engine import CPLAConfig, CPLAEngine
+from repro.ispd.benchmark import Benchmark
+from repro.ispd.request import AssignRequest, assignment_digest
+from repro.obs import metrics
+from repro.route.occupancy import commit_net, release_net
+from repro.tila.engine import TILAConfig, TILAEngine
+from repro.utils import get_logger
+
+log = get_logger(__name__)
+
+SegKey = Tuple[int, int]
+
+
+def snapshot_layers(bench: Benchmark) -> Dict[SegKey, int]:
+    """Layer checkpoint of every net of a prepared benchmark."""
+    return {
+        (net.id, seg.id): seg.layer
+        for net in bench.nets
+        for seg in net.topology.segments
+    }
+
+
+def restore_layers(bench: Benchmark, layers: Dict[SegKey, int]) -> None:
+    """Rewind a benchmark to a checkpoint, keeping grid occupancy exact."""
+    for net in bench.nets:
+        release_net(bench.grid, net.topology)
+        for seg in net.topology.segments:
+            seg.layer = layers[(net.id, seg.id)]
+        commit_net(bench.grid, net.topology)
+
+
+class ResidentEngine:
+    """Warm solver state for one problem signature."""
+
+    def __init__(self, request: AssignRequest, prepare_fn=None) -> None:
+        from repro.pipeline import prepare  # deferred: pipeline imports engines
+
+        self.signature = request.signature()
+        self.key = request.signature_key()
+        self.method = request.method
+        self.runs = 0
+        self.created = time.monotonic()
+        prepare_fn = prepare_fn or prepare
+        self.bench: Benchmark = prepare_fn(request.benchmark, scale=request.scale)
+        self._engine: Optional[CPLAEngine] = None
+        if self.method in ("sdp", "ilp"):
+            config = CPLAConfig(
+                method=self.method,
+                critical_ratio=request.ratio_percent / 100.0,
+                workers=request.workers,
+            )
+            self._engine = CPLAEngine(self.bench, config)
+            self._baseline = self._engine.snapshot_layers()
+        else:
+            self._tila_ratio = request.ratio_percent / 100.0
+            self._baseline = snapshot_layers(self.bench)
+
+    def solve(self) -> Tuple[RunReport, str]:
+        """Run the optimizer once; returns the report and assignment digest.
+
+        The first run starts from the freshly prepared state; later runs
+        rewind to the post-``prepare`` checkpoint first, so every run sees
+        the identical input a one-shot ``repro run`` would.
+        """
+        if self.runs:
+            if self._engine is not None:
+                self._engine.restore_layers(self._baseline)
+            else:
+                restore_layers(self.bench, self._baseline)
+        self.runs += 1
+        if self._engine is not None:
+            report = self._engine.run()
+        else:
+            config = TILAConfig(
+                engine="dp" if self.method == "tila" else "dp+flow",
+                critical_ratio=self._tila_ratio,
+            )
+            report = TILAEngine(self.bench, config).run()
+        return report, assignment_digest(self.bench)
+
+    @property
+    def warm(self) -> bool:
+        return self.runs > 0
+
+    def close(self) -> None:
+        if self._engine is not None:
+            self._engine.close()
+
+
+class EngineHost:
+    """Capacity-bounded LRU of :class:`ResidentEngine` keyed by signature."""
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._residents: "OrderedDict[Tuple, ResidentEngine]" = OrderedDict()
+
+    def get(self, request: AssignRequest) -> ResidentEngine:
+        signature = request.signature()
+        resident = self._residents.get(signature)
+        if resident is None:
+            metrics.inc("serve.engine_builds")
+            log.info("building resident engine for %s", request.signature_key())
+            resident = ResidentEngine(request)
+            self._residents[signature] = resident
+            while len(self._residents) > self.capacity:
+                _, evicted = self._residents.popitem(last=False)
+                log.info("evicting resident engine %s", evicted.key)
+                metrics.inc("serve.engine_evictions")
+                evicted.close()
+        else:
+            metrics.inc("serve.engine_hits")
+        self._residents.move_to_end(signature)
+        return resident
+
+    def discard(self, request: AssignRequest) -> None:
+        """Drop (and close) the resident for a signature, if present.
+
+        The scheduler calls this after a solve raised: a half-mutated
+        benchmark must not serve the next request.
+        """
+        resident = self._residents.pop(request.signature(), None)
+        if resident is not None:
+            metrics.inc("serve.engine_discards")
+            resident.close()
+
+    def __len__(self) -> int:
+        return len(self._residents)
+
+    def close(self) -> None:
+        while self._residents:
+            _, resident = self._residents.popitem()
+            resident.close()

@@ -1,0 +1,357 @@
+"""Asyncio HTTP job server for layer-assignment requests (``repro serve``).
+
+Stdlib only: a minimal HTTP/1.1 implementation over asyncio streams —
+request line, headers, ``Content-Length`` body, one request per
+connection.  Endpoints:
+
+- ``POST /v1/assign`` — problem JSON in (``repro.assign_request/v1``),
+  optimized assignment + Tcp + per-phase clocks out.  Admission goes
+  through the bounded job queue: a full queue answers **429** with a
+  ``Retry-After`` estimate instead of queueing unboundedly.
+- ``GET  /metrics``  — Prometheus text from the process-wide
+  :mod:`repro.obs.metrics` registry (the same registry the engines
+  instrument; there is deliberately no second one).
+- ``GET  /healthz``  — liveness: 200 whenever the process can answer.
+- ``GET  /readyz``   — readiness: 200 while accepting, 503 once draining.
+- ``POST /v1/drain`` — begin graceful drain (same path as SIGTERM).
+
+Lifecycle: SIGTERM/SIGINT (or ``/v1/drain``) stops admission, lets
+in-flight and queued jobs finish on the engine thread, closes resident
+engines (and their process pools), then exits 0.  Request handling is
+crash-isolated — a poisoned job produces a structured 500 and evicts its
+resident; the server keeps serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.ispd.request import AssignRequest, RequestError, error_body
+from repro.obs import metrics
+from repro.service.batcher import BatchScheduler, JobFailed
+from repro.service.jobs import Job, JobExpired, JobQueue, QueueClosed, QueueFull
+from repro.service.resident import EngineHost
+from repro.utils import get_logger
+
+log = get_logger(__name__)
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+# End-to-end request latency buckets (seconds).
+_REQUEST_BUCKETS = (0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 120.0)
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8181
+    max_queue: int = 32
+    max_batch: int = 8
+    engine_cache: int = 4
+    default_deadline_ms: Optional[float] = 120000.0
+    max_body_bytes: int = 1 << 20
+    header_timeout_seconds: float = 10.0
+    # Admission policy: synthetic instances grow with scale and every
+    # worker is a process — cap what one request may demand of the box.
+    max_scale: float = 1.0
+    max_workers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+
+
+class AssignServer:
+    """One resident serving process: queue + batcher + HTTP front."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.queue = JobQueue(self.config.max_queue)
+        self.host = EngineHost(self.config.engine_cache)
+        self.scheduler = BatchScheduler(
+            self.queue, self.host, self.config.max_batch
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._draining = False
+        self._drain_task: Optional[asyncio.Task] = None
+        self._started_at = time.monotonic()
+        self.port: Optional[int] = None  # actual port (config.port may be 0)
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start the dispatcher (idempotent-free)."""
+        metrics.enable()
+        self._stopped = asyncio.Event()
+        self._started_at = time.monotonic()
+        self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        log.info(
+            "serving on http://%s:%d (queue=%d, batch=%d, engines=%d)",
+            self.config.host, self.port,
+            self.config.max_queue, self.config.max_batch,
+            self.config.engine_cache,
+        )
+
+    async def serve_forever(self, install_signals: bool = True) -> int:
+        """Run until drained; returns the process exit code (0 = clean)."""
+        if self._server is None:
+            await self.start()
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(
+                        sig, self.initiate_drain, f"signal {sig.name}"
+                    )
+                except (NotImplementedError, RuntimeError, ValueError):
+                    # Non-main thread or platform without signal support;
+                    # draining stays reachable through POST /v1/drain.
+                    break
+        assert self._stopped is not None
+        await self._stopped.wait()
+        return 0
+
+    def initiate_drain(self, reason: str = "requested") -> None:
+        """Stop admission, finish in-flight work, then stop the server."""
+        if self._draining:
+            return
+        self._draining = True
+        log.info(
+            "drain started (%s): %d queued, %d in flight",
+            reason, len(self.queue), self.scheduler.in_flight,
+        )
+        metrics.inc("serve.drains")
+        self.queue.close()
+        self._drain_task = asyncio.get_running_loop().create_task(
+            self._finish_drain(), name="drain"
+        )
+
+    async def _finish_drain(self) -> None:
+        await self.scheduler.join()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        log.info("drain complete")
+        assert self._stopped is not None
+        self._stopped.set()
+
+    @property
+    def ready(self) -> bool:
+        return self._server is not None and not self._draining
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        started = time.monotonic()
+        try:
+            method, path, body = await self._read_request(reader)
+        except _HttpError as exc:
+            await self._respond(
+                writer, exc.status, error_body("bad_request", str(exc))
+            )
+            return
+        except (asyncio.IncompleteReadError, asyncio.TimeoutError,
+                ConnectionError, asyncio.LimitOverrunError):
+            writer.close()
+            return
+        try:
+            status, payload, headers = await self._route(method, path, body)
+        except Exception as exc:  # crash isolation: never kill the server
+            log.warning(
+                "unhandled error serving %s %s", method, path, exc_info=True
+            )
+            metrics.inc("serve.internal_errors")
+            status, payload, headers = 500, error_body(
+                "internal", f"{type(exc).__name__}: {exc}"
+            ), {}
+        metrics.observe(
+            "serve.request_seconds",
+            time.monotonic() - started,
+            _REQUEST_BUCKETS,
+        )
+        metrics.inc(f"serve.http_{status}")
+        await self._respond(writer, status, payload, headers)
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, bytes]:
+        try:
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"),
+                timeout=self.config.header_timeout_seconds,
+            )
+        except asyncio.LimitOverrunError:
+            raise _HttpError(413, "headers too large")
+        except asyncio.TimeoutError:
+            raise _HttpError(408, "timed out reading request head")
+        try:
+            request_line, *header_lines = head.decode("latin-1").split("\r\n")
+            method, path, _version = request_line.split(" ", 2)
+        except ValueError:
+            raise _HttpError(400, "malformed request line")
+        headers: Dict[str, str] = {}
+        for line in header_lines:
+            if ":" in line:
+                key, value = line.split(":", 1)
+                headers[key.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise _HttpError(400, f"bad Content-Length {length_text!r}")
+        if length < 0 or length > self.config.max_body_bytes:
+            raise _HttpError(
+                413, f"body of {length} bytes exceeds "
+                     f"{self.config.max_body_bytes}"
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method, path.split("?", 1)[0], body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Any,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if isinstance(payload, str):
+            blob = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            blob = (json.dumps(payload) + "\n").encode("utf-8")
+            content_type = "application/json"
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(blob)}",
+            "Connection: close",
+        ]
+        for key, value in (headers or {}).items():
+            lines.append(f"{key}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + blob)
+        try:
+            await writer.drain()
+        except ConnectionError:  # client went away mid-response
+            pass
+        writer.close()
+
+    # -- routing ----------------------------------------------------------
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        if path == "/healthz" and method == "GET":
+            return 200, {
+                "status": "alive",
+                "uptime_seconds": round(
+                    time.monotonic() - self._started_at, 3
+                ),
+                "draining": self._draining,
+            }, {}
+        if path == "/readyz" and method == "GET":
+            if self.ready:
+                return 200, {
+                    "status": "ready",
+                    "queue_depth": len(self.queue),
+                    "resident_engines": len(self.host),
+                }, {}
+            return 503, {"status": "draining"}, {}
+        if path == "/metrics" and method == "GET":
+            metrics.set_gauge("serve.queue_depth_current", len(self.queue))
+            metrics.set_gauge("serve.in_flight", self.scheduler.in_flight)
+            metrics.set_gauge("serve.resident_engines", len(self.host))
+            return 200, metrics.registry().render_prometheus(), {}
+        if path == "/v1/drain" and method == "POST":
+            queued, in_flight = len(self.queue), self.scheduler.in_flight
+            self.initiate_drain("POST /v1/drain")
+            return 202, {
+                "status": "draining",
+                "queued": queued,
+                "in_flight": in_flight,
+            }, {}
+        if path == "/v1/assign" and method == "POST":
+            return await self._assign(body)
+        if path in ("/healthz", "/readyz", "/metrics", "/v1/drain",
+                    "/v1/assign"):
+            return 405, error_body(
+                "method_not_allowed", f"{method} not supported on {path}"
+            ), {}
+        return 404, error_body("not_found", f"no route {path}"), {}
+
+    async def _assign(self, body: bytes) -> Tuple[int, Any, Dict[str, str]]:
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+            request = AssignRequest.from_json(payload)
+            self._check_policy(request)
+        except (RequestError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            metrics.inc("serve.bad_requests")
+            return 400, error_body("bad_request", str(exc)), {}
+        job = Job.create(
+            request,
+            asyncio.get_running_loop(),
+            self.config.default_deadline_ms,
+        )
+        try:
+            self.queue.submit(job)
+        except QueueFull as exc:
+            retry_after = max(1, round(exc.retry_after))
+            return 429, error_body(
+                "overloaded", str(exc), retry_after_seconds=retry_after
+            ), {"Retry-After": str(retry_after)}
+        except QueueClosed as exc:
+            return 503, error_body("draining", str(exc)), {}
+        try:
+            response = await job.future
+        except JobExpired as exc:
+            return 504, error_body("deadline_exceeded", str(exc)), {}
+        except JobFailed as exc:
+            return 500, error_body("solve_failed", str(exc)), {}
+        return 200, response, {}
+
+    def _check_policy(self, request: AssignRequest) -> None:
+        cfg = self.config
+        if request.scale > cfg.max_scale:
+            raise RequestError(
+                f"scale {request.scale:g} exceeds this server's limit "
+                f"{cfg.max_scale:g}"
+            )
+        if request.workers > cfg.max_workers:
+            raise RequestError(
+                f"workers {request.workers} exceeds this server's limit "
+                f"{cfg.max_workers}"
+            )
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+async def run_server(config: Optional[ServeConfig] = None) -> int:
+    """Start a server and block until it drains; returns the exit code."""
+    server = AssignServer(config)
+    await server.start()
+    return await server.serve_forever()

@@ -1,0 +1,158 @@
+"""Engine and pool lifecycle tests: reuse, close semantics, failure fallback.
+
+The serving layer keeps one :class:`~repro.core.engine.CPLAEngine` resident
+per problem signature and reruns it for every request, so the engine's
+reuse contract is load-bearing:
+
+- a rewound rerun on a warm engine (live pool, populated ADMM warm-start
+  and Elmore caches) must produce the **bit-identical** assignment a fresh
+  engine would;
+- a failing worker initializer must downgrade the pool to the sequential
+  fallback — counted in ``engine.pool_failures`` — without changing the
+  result (the fallback solves the identically-extracted Jacobi problems);
+- pools and engines are context managers with idempotent ``close``, and
+  leaked pools are reaped by the module's ``atexit`` guard.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.core.engine as engine_mod
+from repro.core.engine import CPLAEngine, LeafSolvePool
+from repro.ispd.request import assignment_digest
+from repro.ispd.synthetic import generate
+from repro.obs import metrics
+from repro.pipeline import prepare
+from tests.conftest import tiny_spec
+from tests.test_engine import fast_cpla
+
+
+@pytest.fixture(autouse=True)
+def _metrics_clean():
+    metrics.disable()
+    yield
+    metrics.disable()
+
+
+def _fresh_bench():
+    return prepare(generate(tiny_spec()))
+
+
+class TestPoolFailureFallback:
+    def test_failing_initializer_downgrades_and_preserves_result(
+        self, monkeypatch
+    ):
+        """A poisoned worker initializer must not change the answer.
+
+        The fallback solves the already-extracted Jacobi problems inline,
+        so the run with a broken pool is bit-identical to a healthy
+        parallel run (not to the Gauss-Seidel serial mode, which is a
+        different — also valid — algorithm).
+        """
+        metrics.enable()
+
+        def poisoned_initializer(*_args):
+            raise RuntimeError("injected initializer failure")
+
+        monkeypatch.setattr(
+            engine_mod, "_pool_initializer", poisoned_initializer
+        )
+        broken_bench = _fresh_bench()
+        with CPLAEngine(broken_bench, fast_cpla(workers=2)) as engine:
+            report = engine.run()
+        broken_digest = assignment_digest(broken_bench)
+
+        counters = metrics.registry().as_dict()["counters"]
+        assert counters["engine.pool_failures"] == 1
+        assert report.final_avg_tcp <= report.initial_avg_tcp
+
+        monkeypatch.undo()
+        healthy_bench = _fresh_bench()
+        with CPLAEngine(healthy_bench, fast_cpla(workers=2)) as engine:
+            engine.run()
+        assert broken_digest == assignment_digest(healthy_bench)
+
+
+class TestEngineReuse:
+    def test_warm_rerun_bit_identical_to_fresh_engine(self):
+        """Two runs on one engine == two fresh engines, bit for bit.
+
+        This is the determinism contract the resident server relies on:
+        rewinding to the post-prepare checkpoint and rerunning with warm
+        caches (Elmore fingerprints, ADMM warm-start X) must reproduce
+        exactly what a cold engine computes.
+        """
+        bench = _fresh_bench()
+        with CPLAEngine(bench, fast_cpla()) as engine:
+            baseline = engine.snapshot_layers()
+            first = engine.run()
+            first_digest = assignment_digest(bench)
+
+            engine.restore_layers(baseline)
+            assert engine.snapshot_layers() == baseline
+
+            second = engine.run()
+            second_digest = assignment_digest(bench)
+
+        assert second_digest == first_digest
+        assert second.final_avg_tcp == first.final_avg_tcp
+        assert second.final_max_tcp == first.final_max_tcp
+
+        fresh_bench = _fresh_bench()
+        with CPLAEngine(fresh_bench, fast_cpla()) as engine:
+            engine.run()
+        assert assignment_digest(fresh_bench) == first_digest
+
+    def test_pool_survives_between_runs(self):
+        """run() must no longer tear the pool down; close() must."""
+        bench = _fresh_bench()
+        engine = CPLAEngine(bench, fast_cpla(workers=2))
+        baseline = engine.snapshot_layers()
+        engine.run()
+        assert engine._pool is not None
+        assert engine._pool._pool is not None  # executor still alive
+
+        engine.restore_layers(baseline)
+        engine.run()  # reuses the same pool rather than respawning
+
+        engine.close()
+        assert engine._pool is None
+        engine.close()  # idempotent
+
+
+class _RecordingExecutor:
+    def __init__(self):
+        self.shutdowns = 0
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shutdowns += 1
+
+
+class TestPoolLifecycle:
+    def test_pool_context_manager_and_idempotent_close(self):
+        with LeafSolvePool(2, solver=None) as pool:
+            executor = _RecordingExecutor()
+            pool._pool = executor
+        assert executor.shutdowns == 1
+        assert pool._pool is None
+        pool.close()
+        assert executor.shutdowns == 1  # close after close is a no-op
+
+    def test_atexit_guard_reaps_leaked_pools(self):
+        pool = LeafSolvePool(2, solver=None)
+        assert pool in engine_mod._LIVE_POOLS
+        executor = _RecordingExecutor()
+        pool._pool = executor
+        engine_mod._close_leaked_pools()
+        assert executor.shutdowns == 1
+        assert pool._pool is None
+
+    def test_engine_context_manager_closes_pool(self):
+        bench = _fresh_bench()
+        with CPLAEngine(bench, fast_cpla(workers=2)) as engine:
+            engine._pool = LeafSolvePool(2, solver=None)
+            executor = _RecordingExecutor()
+            engine._pool._pool = executor
+        assert engine._pool is None
+        assert executor.shutdowns == 1

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXIT_INFEASIBLE, EXIT_OVERFLOW, build_parser, main
 from repro.ispd.synthetic import generate
 from repro.pipeline import compare, prepare, run_method
 
@@ -62,14 +62,30 @@ class TestCli:
         assert rc == 2
 
     def test_run_command(self, capsys):
+        # This configuration is known to finish with residual via-capacity
+        # overflow, which `repro run` now reports as exit code 3 (the
+        # result is still produced and printed).
         rc = main([
             "run", "--benchmark", "adaptec1", "--method", "tila",
             "--scale", "0.05", "--ratio", "2",
         ])
-        assert rc == 0
-        out = capsys.readouterr().out
-        assert "Avg(Tcp)" in out
-        assert "runtime" in out
+        assert rc == EXIT_OVERFLOW
+        captured = capsys.readouterr()
+        assert "Avg(Tcp)" in captured.out
+        assert "runtime" in captured.out
+        assert "assignment digest: sha256:" in captured.out
+        assert "overflow" in captured.err
+
+    def test_run_command_infeasible_input(self, capsys, monkeypatch):
+        import repro.cli as cli_mod
+
+        def broken_prepare(*args, **kwargs):
+            raise ValueError("no such benchmark data")
+
+        monkeypatch.setattr(cli_mod, "prepare", broken_prepare)
+        rc = main(["run", "--benchmark", "adaptec1", "--scale", "0.05"])
+        assert rc == EXIT_INFEASIBLE
+        assert "infeasible" in capsys.readouterr().err
 
     def test_density_command(self, capsys):
         rc = main(["density", "--benchmark", "adaptec1", "--scale", "0.05"])
