@@ -55,6 +55,11 @@ class RunReport:
     # Convergence diagnostics snapshot ({"solves": [...], "partitions":
     # [...]}; empty unless repro.obs.convergence was enabled).
     convergence: Dict[str, Any] = field(default_factory=dict)
+    # Distributed-fabric scheduler counters (tasks, retries, steals,
+    # stragglers, per-worker utilization; empty unless the run used
+    # exec_backend="dist").  Rides into the run ledger's "scheduler"
+    # section — the fault-injection CI gate reads retries from there.
+    scheduler: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def runtime(self) -> float:

@@ -13,6 +13,8 @@ Subcommands mirror the repo's workflow::
     repro obs check runs.jsonl --baseline base.jsonl  # regression gate
     repro serve --port 8181                    # resident batch job server
     repro bench-serve --benchmark adaptec1 --qps 8 --verify  # load replay
+    repro run ... --workers 4 --exec dist      # work-stealing solve fabric
+    repro dist-worker --connect host:9123      # join a remote coordinator
 
 Percentages follow the paper: ``--ratio 0.5`` means 0.5% of nets released.
 
@@ -33,6 +35,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from typing import List, Optional
 
 from repro.analysis.histogram import delay_histogram, render_histogram
@@ -50,6 +53,14 @@ EXIT_OK = 0
 EXIT_USAGE = 2
 EXIT_OVERFLOW = 3
 EXIT_INFEASIBLE = 4
+
+
+def _parse_hostport(text: str):
+    """``HOST:PORT`` -> ``(host, port)``, or ``None`` when malformed."""
+    host, _, port_text = text.rpartition(":")
+    if host and port_text.isdigit():
+        return host, int(port_text)
+    return None
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -100,6 +111,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=0,
         help="solve partition leaves in a process pool; only the sdp/ilp "
              "methods parallelize — ignored (with a warning) for tila/tila+flow",
+    )
+    p_run.add_argument(
+        "--exec", dest="exec_backend", default="pool",
+        choices=["pool", "dist"],
+        help="parallel execution backend: 'pool' (static process pool) or "
+             "'dist' (fault-tolerant work-stealing fabric); both are "
+             "bit-identical at equal --workers",
+    )
+    p_run.add_argument(
+        "--dist-listen", default=None, metavar="HOST:PORT",
+        help="with --exec dist: also accept remote workers on this address "
+             "(authkey read from the REPRO_DIST_AUTHKEY env var; join with "
+             "'repro dist-worker --connect HOST:PORT')",
     )
     _add_observability(p_run)
     _add_common(p_run)
@@ -157,6 +181,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_bsv.add_argument("--method", default="sdp",
                        choices=["sdp", "ilp", "tila", "tila+flow"])
     p_bsv.add_argument("--workers", type=int, default=0)
+    p_bsv.add_argument(
+        "--exec", dest="exec_backend", default="pool",
+        choices=["pool", "dist"],
+        help="execution backend requested from the server (and used by "
+             "--verify's local run)",
+    )
     p_bsv.add_argument("--qps", type=float, default=8.0,
                        help="open-loop request rate of the load phase")
     p_bsv.add_argument("--requests", type=int, default=24,
@@ -176,6 +206,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_bsv.add_argument("--timeout", type=float, default=300.0,
                        help="per-request client timeout in seconds")
     _add_common(p_bsv)
+
+    p_dw = sub.add_parser(
+        "dist-worker",
+        help="join a coordinator started with --exec dist --dist-listen "
+             "and serve leaf solves until it shuts the fabric down",
+    )
+    p_dw.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator listen address (its --dist-listen value)",
+    )
+    p_dw.add_argument(
+        "--id", default=None,
+        help="worker id shown in coordinator logs/metrics "
+             "(default: remote-<pid>)",
+    )
+    p_dw.add_argument(
+        "--retry-seconds", type=float, default=60.0, metavar="S",
+        help="keep retrying a refused connection for this long — the "
+             "coordinator only listens once its first parallel solve "
+             "starts (default: 60, 0 = one attempt)",
+    )
+    p_dw.add_argument("-v", "--verbose", action="store_true")
 
     p_obs = sub.add_parser(
         "obs", help="run-ledger diagnostics (show / diff / check)"
@@ -283,12 +335,52 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.ledger:
         obs.convergence.enable()
     cpla_config = None
-    if args.workers and args.method in ("sdp", "ilp"):
-        cpla_config = CPLAConfig(workers=args.workers)
-    elif args.workers:
+    if args.method in ("sdp", "ilp"):
+        dist_config = None
+        if args.exec_backend == "dist":
+            if args.workers < 1:
+                print(
+                    "warning: --exec dist parallelizes nothing without "
+                    "--workers >= 1; running sequentially",
+                    file=sys.stderr,
+                )
+            if args.dist_listen:
+                address = _parse_hostport(args.dist_listen)
+                if address is None:
+                    print(
+                        f"--dist-listen must look like HOST:PORT, got "
+                        f"{args.dist_listen!r}",
+                        file=sys.stderr,
+                    )
+                    return EXIT_USAGE
+                authkey = os.environ.get("REPRO_DIST_AUTHKEY", "")
+                if not authkey:
+                    print(
+                        "--dist-listen requires the REPRO_DIST_AUTHKEY env "
+                        "var (shared secret remote workers authenticate with)",
+                        file=sys.stderr,
+                    )
+                    return EXIT_USAGE
+                from repro.dist.fabric import DistFabricConfig
+
+                dist_config = DistFabricConfig(
+                    listen=address, authkey=authkey.encode("utf-8")
+                )
+        elif args.dist_listen:
+            print(
+                "warning: --dist-listen only applies with --exec dist; ignored",
+                file=sys.stderr,
+            )
+        if args.workers or args.exec_backend != "pool":
+            cpla_config = CPLAConfig(
+                workers=args.workers,
+                exec_backend=args.exec_backend,
+                dist=dist_config,
+            )
+    elif args.workers or args.exec_backend != "pool":
         print(
-            f"warning: --workers only parallelizes the sdp/ilp methods; "
-            f"ignored for method {args.method!r}",
+            f"warning: --workers only parallelizes the sdp/ilp methods "
+            f"(likewise --exec); ignored for method {args.method!r}",
             file=sys.stderr,
         )
     try:
@@ -331,6 +423,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "scale": args.scale,
                 "ratio_percent": args.ratio,
                 "workers": args.workers,
+                "exec": args.exec_backend,
             },
         )
         obs.ledger.append_entry(args.ledger, entry)
@@ -487,6 +580,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
 
+def _cmd_dist_worker(args: argparse.Namespace) -> int:
+    from multiprocessing import AuthenticationError
+
+    from repro.dist.worker import connect_and_serve
+
+    address = _parse_hostport(args.connect)
+    if address is None:
+        print(
+            f"--connect must look like HOST:PORT, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    authkey = os.environ.get("REPRO_DIST_AUTHKEY", "")
+    if not authkey:
+        print(
+            "dist-worker: set REPRO_DIST_AUTHKEY to the coordinator's "
+            "shared secret",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    # The coordinator binds its listener lazily, when the first parallel
+    # solve starts — a worker launched alongside it races that moment, so
+    # a refused connection is retried for a bounded window.
+    deadline = time.monotonic() + max(0.0, args.retry_seconds)
+    try:
+        while True:
+            try:
+                connect_and_serve(
+                    *address, authkey.encode("utf-8"), worker_id=args.id
+                )
+                return 0
+            except ConnectionRefusedError as exc:
+                if time.monotonic() >= deadline:
+                    print(f"dist-worker: {exc}", file=sys.stderr)
+                    return 1
+                time.sleep(0.5)
+    except KeyboardInterrupt:
+        return 0
+    except (OSError, EOFError, AuthenticationError) as exc:
+        print(f"dist-worker: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
     from repro.obs import ledger as run_ledger
     from repro.service import LoadGenConfig, render_summary, run_loadgen
@@ -497,6 +633,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         ratio_percent=args.ratio,
         method=args.method,
         workers=args.workers,
+        exec_backend=args.exec_backend,
         qps=args.qps,
         requests=args.requests,
         concurrency=args.concurrency,
@@ -534,6 +671,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "obs": _cmd_obs,
         "serve": _cmd_serve,
         "bench-serve": _cmd_bench_serve,
+        "dist-worker": _cmd_dist_worker,
     }
     return handlers[args.command](args)
 

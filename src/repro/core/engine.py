@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.runreport import IterationStats, RunReport
+from repro.dist.fabric import DistFabric, DistFabricConfig, task_cost
 from repro.obs import collect, convergence, metrics, tracer
 from repro.core.ilp import IlpConfig, IlpPartitionSolver
 from repro.core.mapping import CapacityLedger, post_map
@@ -54,7 +55,7 @@ _REL_TOL = 1e-9
 _LEAF_BUCKETS = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 5.0)
 
 
-def _solve_leaf_task(solver, capture_telemetry, problem):
+def _solve_leaf_task(solver, capture_telemetry, problem, warm=None):
     """One leaf solve with its telemetry in the payload.
 
     The worker's wall-clock phases are always measured and returned —
@@ -63,9 +64,19 @@ def _solve_leaf_task(solver, capture_telemetry, problem):
     along when their subsystems are enabled.  ``capture_telemetry`` is the
     ``(tracing, metrics, convergence)`` flag tuple observed in the parent
     at pool creation, so workers arm exactly what the parent collects.
+
+    ``warm`` is the parent-owned warm-start state for this partition (see
+    ``SdpPartitionSolver.import_warm``): it overwrites whatever the
+    worker-resident solver remembers, so the solve is a pure function of
+    ``(problem, warm)`` and the result cannot depend on which worker —
+    or which retry attempt — executes the task.  The post-solve state is
+    returned so the parent can advance its authoritative store.
     """
     if any(capture_telemetry):
         collect.init_worker_observability(*capture_telemetry)
+    managed = hasattr(solver, "import_warm") and hasattr(solver, "export_warm")
+    if managed:
+        solver.import_warm(problem, warm)
     clock = WallClock()
     with clock.phase("solve"):
         with tracer.span(
@@ -73,7 +84,7 @@ def _solve_leaf_task(solver, capture_telemetry, problem):
         ):
             result = solver.solve(problem)
     telemetry = collect.capture_worker_telemetry(clock)
-    return result, telemetry
+    return result, telemetry, (solver.export_warm(problem) if managed else None)
 
 
 # Worker-process state installed once by the pool initializer, so each task
@@ -89,9 +100,10 @@ def _pool_initializer(solver, capture_telemetry) -> None:
     _POOL_CAPTURE = capture_telemetry
 
 
-def _solve_pooled_leaf(problem):
+def _solve_pooled_leaf(payload):
     """Pool-task entry point: solve one leaf with the worker-resident solver."""
-    return _solve_leaf_task(_POOL_SOLVER, _POOL_CAPTURE, problem)
+    problem, warm = payload
+    return _solve_leaf_task(_POOL_SOLVER, _POOL_CAPTURE, problem, warm)
 
 
 # Every live pool, so one atexit hook can reap executors that callers
@@ -112,12 +124,15 @@ class LeafSolvePool:
 
     The previous implementation built a fresh ``ProcessPoolExecutor`` for
     every Jacobi pass and re-pickled the solver with every task.  This
-    manager creates the pool once (lazily, on the first parallel solve),
-    ships the solver to each worker through the pool initializer, and
-    chunks leaf submissions.  Worker-resident solvers keep their warm-start
-    caches across engine iterations *and* across back-to-back engine runs —
-    pool persistence is what makes SDP warm starting effective in parallel
-    mode and what lets a resident server skip process spawning per request.
+    manager creates the pool once (lazily, on the first parallel solve)
+    and ships the solver to each worker through the pool initializer.  The
+    authoritative SDP warm-start store lives on the *parent's* solver:
+    each task carries its partition's warm state and returns the updated
+    state, which keeps warm starting effective across engine iterations
+    and back-to-back engine runs while making every solve a pure function
+    of its task — scheduling cannot affect the assignment.  Pool
+    persistence is what lets a resident server skip process spawning per
+    request.
 
     Any pool failure (creation, task pickling, a died worker) permanently
     downgrades the pool: :meth:`map` returns ``None``, the caller solves
@@ -153,10 +168,41 @@ class LeafSolvePool:
                     initializer=_pool_initializer,
                     initargs=(self._solver, capture),
                 )
-            chunksize = max(1, len(problems) // (self.workers * 4))
-            return list(
-                self._pool.map(_solve_pooled_leaf, problems, chunksize=chunksize)
+            # Largest-first with chunksize 1: the old static chunking
+            # (``chunksize=max(1, len // (workers * 4))``) dealt contiguous
+            # blocks, so with few leaves one worker could serialize several
+            # big ones while others idled.  Scheduling the costliest leaves
+            # first, one at a time, bounds the tail by a single leaf.
+            # Results are re-ordered back to input order.  Each task ships
+            # the parent solver's warm-start state for its partition, so a
+            # solve is a pure function of the task — the permutation (and
+            # which worker picks which task) cannot change any result.
+            managed = hasattr(self._solver, "export_warm") and hasattr(
+                self._solver, "import_warm"
             )
+            order = sorted(
+                range(len(problems)),
+                key=lambda i: (-task_cost(problems[i]), i),
+            )
+            payloads = [
+                (
+                    problems[i],
+                    self._solver.export_warm(problems[i]) if managed else None,
+                )
+                for i in order
+            ]
+            solved = list(
+                self._pool.map(_solve_pooled_leaf, payloads, chunksize=1)
+            )
+            results: list = [None] * len(problems)
+            for position, index in enumerate(order):
+                results[index] = solved[position]
+            # Advance the authoritative warm store in task order, then
+            # strip the warm state from what the engine consumes.
+            if managed:
+                for problem, (_, _, new_warm) in zip(problems, results):
+                    self._solver.import_warm(problem, new_warm)
+            return [(result, telemetry) for result, telemetry, _ in results]
         except Exception as exc:
             log.warning(
                 "leaf-solve pool failed (%s: %s); continuing with sequential solves",
@@ -242,6 +288,13 @@ class CPLAConfig:
     protect_fraction: float = 0.9
     leaf_order: str = "spatial"  # or "criticality": hottest partitions first
     workers: int = 0
+    # Parallel execution backend: "pool" is the persistent
+    # ProcessPoolExecutor; "dist" is the coordinator/worker solve fabric
+    # (dynamic largest-first scheduling, work stealing, crash/timeout
+    # retry — see repro.dist).  Both are Jacobi solves from a common
+    # snapshot and produce bit-identical assignments.
+    exec_backend: str = "pool"
+    dist: Optional[DistFabricConfig] = None
     sdp: SdpRelaxationConfig = field(default_factory=SdpRelaxationConfig)
     ilp: IlpConfig = field(default_factory=IlpConfig)
 
@@ -254,6 +307,8 @@ class CPLAConfig:
             raise ValueError("critical_ratio must be a fraction in (0, 1]")
         if self.leaf_order not in ("spatial", "criticality"):
             raise ValueError(f"unknown leaf_order {self.leaf_order!r}")
+        if self.exec_backend not in ("pool", "dist"):
+            raise ValueError(f"unknown exec_backend {self.exec_backend!r}")
 
 
 # The report type is shared with the TILA baseline so the evaluation
@@ -280,7 +335,9 @@ class CPLAEngine:
         else:
             self._solver = IlpPartitionSolver(self.config.ilp, grid=self.grid)
         self._worker_clock = WallClock()
-        self._pool: Optional[LeafSolvePool] = None
+        # Either a LeafSolvePool or a DistFabric — both satisfy the same
+        # map()/close() contract (config.exec_backend picks which).
+        self._pool = None
         self._iter_index = 0
 
     # -- public API -------------------------------------------------------
@@ -304,6 +361,8 @@ class CPLAEngine:
             report.metrics = metrics.registry().as_dict()
         if convergence.is_enabled():
             report.convergence = convergence.snapshot()
+        if isinstance(self._pool, DistFabric):
+            report.scheduler = self._pool.stats_snapshot()
         return report
 
     def close(self) -> None:
@@ -626,7 +685,12 @@ class CPLAEngine:
                 for _, keys in leaves
             ]
         if self._pool is None:
-            self._pool = LeafSolvePool(self.config.workers, self._solver)
+            if self.config.exec_backend == "dist":
+                self._pool = DistFabric(
+                    self.config.workers, self._solver, self.config.dist
+                )
+            else:
+                self._pool = LeafSolvePool(self.config.workers, self._solver)
         parent_span = tracer.current_span_id()
         with clock.phase("solve"):
             results = self._pool.map(problems)

@@ -100,6 +100,36 @@ class SdpPartitionSolver:
         # partition signature -> relaxed X of the last solve
         self._warm: Dict[Tuple, np.ndarray] = {}
 
+    # -- externally-managed warm state ------------------------------------
+    #
+    # ADMM's output depends on its warm start, so warm state must be a
+    # function of the *task*, never of which worker happens to solve it —
+    # otherwise work stealing, retries, and pool scheduling would make the
+    # assignment timing-dependent.  The parallel backends therefore keep
+    # the authoritative warm store on the parent's solver instance, ship
+    # the X with each task via ``export_warm``, overwrite the worker-local
+    # entry via ``import_warm`` before solving, and write the accepted
+    # result's X back into the parent store in task order.
+
+    @staticmethod
+    def warm_key(problem: PartitionProblem) -> Tuple:
+        """The partition signature that keys the warm-start store."""
+        return tuple(var.key for var in problem.vars)
+
+    def export_warm(self, problem: PartitionProblem) -> Optional[np.ndarray]:
+        """The stored relaxed ``X`` for this partition, if any."""
+        return self._warm.get(self.warm_key(problem))
+
+    def import_warm(
+        self, problem: PartitionProblem, X: Optional[np.ndarray]
+    ) -> None:
+        """Overwrite (``None``: clear) the stored ``X`` for this partition."""
+        key = self.warm_key(problem)
+        if X is None:
+            self._warm.pop(key, None)
+        else:
+            self._warm[key] = X
+
     def solve(self, problem: PartitionProblem) -> Tuple[List[np.ndarray], SdpSolveInfo]:
         """Return per-variable fractional layer weights plus diagnostics."""
         if problem.num_vars == 0:

@@ -28,9 +28,11 @@ RESPONSE_SCHEMA = "repro.assign_response/v1"
 
 METHODS = ("sdp", "ilp", "tila", "tila+flow")
 
+EXEC_BACKENDS = ("pool", "dist")
+
 _REQUEST_KEYS = {
     "schema", "benchmark", "scale", "ratio_percent", "method", "workers",
-    "deadline_ms", "return_assignment",
+    "exec", "deadline_ms", "return_assignment",
 }
 
 
@@ -48,7 +50,10 @@ class AssignRequest:
     and the engine host keys its resident warm state by it.  ``workers``
     is part of the signature because sequential (Gauss–Seidel) and pooled
     (Jacobi) solves legitimately produce different — both valid —
-    assignments.
+    assignments.  ``exec_backend`` (JSON key ``"exec"``) is part of the
+    signature too, even though pool and dist are bit-identical at equal
+    workers: the resident engine holds the backend's live resources, so
+    the two must never share one resident.
     """
 
     benchmark: str
@@ -56,6 +61,7 @@ class AssignRequest:
     ratio_percent: float = 0.5
     method: str = "sdp"
     workers: int = 0
+    exec_backend: str = "pool"
     deadline_ms: Optional[float] = None
     return_assignment: bool = False
 
@@ -92,6 +98,11 @@ class AssignRequest:
         workers = payload.get("workers", 0)
         if not isinstance(workers, int) or workers < 0:
             raise RequestError("workers must be a non-negative integer")
+        exec_backend = payload.get("exec", "pool")
+        if exec_backend not in EXEC_BACKENDS:
+            raise RequestError(
+                f"exec {exec_backend!r} is not one of {EXEC_BACKENDS}"
+            )
         deadline_ms = payload.get("deadline_ms")
         if deadline_ms is not None:
             deadline_ms = _number(payload, "deadline_ms", 0.0)
@@ -106,19 +117,20 @@ class AssignRequest:
             ratio_percent=ratio,
             method=method,
             workers=workers,
+            exec_backend=exec_backend,
             deadline_ms=deadline_ms,
             return_assignment=return_assignment,
         )
 
-    def signature(self) -> Tuple[str, float, float, str, int]:
+    def signature(self) -> Tuple[str, float, float, str, int, str]:
         return (
             self.benchmark, self.scale, self.ratio_percent,
-            self.method, self.workers,
+            self.method, self.workers, self.exec_backend,
         )
 
     def signature_key(self) -> str:
-        b, s, r, m, w = self.signature()
-        return f"{b}|scale={s:g}|ratio={r:g}|{m}|workers={w}"
+        b, s, r, m, w, x = self.signature()
+        return f"{b}|scale={s:g}|ratio={r:g}|{m}|workers={w}|exec={x}"
 
     def to_json(self) -> Dict[str, Any]:
         body: Dict[str, Any] = {
@@ -129,6 +141,8 @@ class AssignRequest:
             "method": self.method,
             "workers": self.workers,
         }
+        if self.exec_backend != "pool":
+            body["exec"] = self.exec_backend
         if self.deadline_ms is not None:
             body["deadline_ms"] = self.deadline_ms
         if self.return_assignment:
@@ -188,6 +202,7 @@ def build_response(
         "scale": request.scale,
         "ratio_percent": request.ratio_percent,
         "workers": request.workers,
+        "exec": request.exec_backend,
         "quality": {
             "initial_avg_tcp": report.initial_avg_tcp,
             "final_avg_tcp": report.final_avg_tcp,

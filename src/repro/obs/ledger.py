@@ -102,6 +102,9 @@ def build_entry(
         },
         "convergence": convergence.summarize(report.convergence),
     }
+    scheduler = getattr(report, "scheduler", None)
+    if scheduler:
+        entry["scheduler"] = scheduler
     if label:
         entry["label"] = label
     return entry
@@ -213,6 +216,22 @@ def render_entry(entry: Dict[str, Any]) -> str:
             "  worker phases: "
             + "  ".join(f"{k}={v:.2f}s" for k, v in sorted(worker_phases.items()))
         )
+    scheduler = entry.get("scheduler")
+    if scheduler:
+        util = scheduler.get("utilization", {}) or {}
+        util_text = (
+            "  ".join(f"{k}={v:.0%}" for k, v in sorted(util.items()))
+            if util else "n/a"
+        )
+        lines.extend([
+            "dist scheduler:",
+            f"  tasks {scheduler.get('tasks', 0)}  "
+            f"retries {scheduler.get('retries', 0)}  "
+            f"steals {scheduler.get('steals', 0)}  "
+            f"stragglers {scheduler.get('stragglers', 0)}  "
+            f"worker restarts {scheduler.get('worker_restarts', 0)}",
+            f"  worker utilization (last map): {util_text}",
+        ])
     serving = entry.get("serving")
     if serving:
         lat = serving.get("latency_ms", {})
@@ -247,6 +266,10 @@ _DIFF_FIELDS = (
     ("solver iterations p90", ("convergence", "solves", "iterations", "p90")),
     ("non-converged partitions", ("convergence", "partitions", "nonconverged")),
     ("overflow events", ("convergence", "partitions", "overflow_events")),
+    # Dist-fabric runs (``--exec dist``): absent from pool/sequential runs.
+    ("dist retries", ("scheduler", "retries")),
+    ("dist steals", ("scheduler", "steals")),
+    ("dist stragglers", ("scheduler", "stragglers")),
     # Serving entries (``repro bench-serve``): absent from solve runs, and
     # _lookup simply skips missing paths.
     ("serve p50 latency ms", ("serving", "latency_ms", "p50")),

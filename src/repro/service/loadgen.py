@@ -68,10 +68,24 @@ async def http_request(
         )
         writer.write(head.encode("latin-1") + blob)
         await writer.drain()
-        raw = await asyncio.wait_for(reader.read(), timeout=timeout)
+        # Read headers, then exactly Content-Length body bytes.  Never read
+        # to EOF: solver worker processes forked mid-request inherit the
+        # server's accepted socket, so the connection only sees FIN when
+        # those (long-lived) workers exit — read-to-EOF would hang forever.
+        header_blob = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=timeout
+        )
+        header_blob = header_blob[:-4]
+        length = 0
+        for line in header_blob.decode("latin-1").split("\r\n")[1:]:
+            if line.lower().startswith("content-length:"):
+                length = int(line.split(":", 1)[1].strip())
+        payload = (
+            await asyncio.wait_for(reader.readexactly(length), timeout=timeout)
+            if length else b""
+        )
     finally:
         writer.close()
-    header_blob, _, payload = raw.partition(b"\r\n\r\n")
     lines = header_blob.decode("latin-1").split("\r\n")
     status = int(lines[0].split(" ", 2)[1])
     text = payload.decode("utf-8", errors="replace")
@@ -152,6 +166,7 @@ class LoadGenConfig:
     ratio_percent: float = 0.5
     method: str = "sdp"
     workers: int = 0
+    exec_backend: str = "pool"
     qps: float = 8.0
     requests: int = 24
     concurrency: int = 8
@@ -169,7 +184,15 @@ class LoadGenConfig:
             ratio_percent=self.ratio_percent,
             method=self.method,
             workers=self.workers,
+            exec_backend=self.exec_backend,
         ).to_json()
+
+    @property
+    def ledger_method(self) -> str:
+        """Serve entries gate only against like-for-like baselines, so the
+        dist backend gets its own method label (``serve:sdp+dist``)."""
+        suffix = "" if self.exec_backend == "pool" else f"+{self.exec_backend}"
+        return f"serve:{self.method}{suffix}"
 
 
 @dataclass
@@ -287,7 +310,7 @@ def _local_digest(cfg: LoadGenConfig) -> str:
 
     bench = prepare(cfg.benchmark, scale=cfg.scale)
     cpla_config = (
-        CPLAConfig(workers=cfg.workers)
+        CPLAConfig(workers=cfg.workers, exec_backend=cfg.exec_backend)
         if cfg.workers and cfg.method in ("sdp", "ilp")
         else None
     )
@@ -357,7 +380,7 @@ def run_loadgen(cfg: LoadGenConfig) -> LoadGenResult:
         "created": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "benchmark": cfg.benchmark,
         # Prefixed so serve entries only ever gate against serve baselines.
-        "method": f"serve:{cfg.method}",
+        "method": cfg.ledger_method,
         "critical_ratio": cfg.ratio_percent / 100.0,
         "fingerprint": run_ledger.fingerprint({
             "benchmark": cfg.benchmark,
@@ -365,6 +388,7 @@ def run_loadgen(cfg: LoadGenConfig) -> LoadGenResult:
             "ratio_percent": cfg.ratio_percent,
             "method": cfg.method,
             "workers": cfg.workers,
+            "exec": cfg.exec_backend,
             "qps": cfg.qps,
             "requests": cfg.requests,
             "concurrency": cfg.concurrency,

@@ -78,6 +78,7 @@ class ResidentEngine:
                 method=self.method,
                 critical_ratio=request.ratio_percent / 100.0,
                 workers=request.workers,
+                exec_backend=request.exec_backend,
             )
             self._engine = CPLAEngine(self.bench, config)
             self._baseline = self._engine.snapshot_layers()
