@@ -1,0 +1,48 @@
+"""Shape bucketing: group prepared members into stackable batches.
+
+Members stack only when their tensors agree in every dimension, so the
+bucket key is ``(matrix order, constraint count, has box)`` — the
+:attr:`~repro.batchsolve.kernels.MemberSetup.bucket_key`.  Partition
+leaves cluster naturally around the segment-per-partition cap, so a
+typical engine iteration yields a handful of well-filled buckets plus a
+tail of singletons (run ``repro obs show`` on a batch ledger entry, or
+see the fragmentation walkthrough in docs/OBSERVABILITY.md, to inspect
+the split).
+
+Buckets are additionally chunked to ``max_members`` rows: the dominant
+stack is the constraint tensor at ``B x m x d`` doubles, and capping B
+bounds peak memory without affecting results — members never exchange
+information, so chunk boundaries are invisible to the math.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.batchsolve.kernels import MemberSetup
+
+#: Default cap on members per kernel call.  At the repo's typical leaf
+#: shapes (n ~ 40-120, m ~ n, d = n(n+1)/2) 64 members keep the constraint
+#: stack under ~0.5 GB at the extreme end and far below that typically.
+DEFAULT_MAX_MEMBERS = 64
+
+
+def bucket_members(
+    members: Sequence[Tuple[int, MemberSetup]],
+    max_members: int = DEFAULT_MAX_MEMBERS,
+) -> List[List[Tuple[int, MemberSetup]]]:
+    """Group ``(index, member)`` pairs into shape-compatible chunks.
+
+    Input order is preserved within each bucket (first-seen bucket order
+    overall), so the caller can map results back by the carried index.
+    """
+    if max_members < 1:
+        raise ValueError("max_members must be >= 1")
+    grouped: Dict[Tuple[int, int, bool], List[Tuple[int, MemberSetup]]] = {}
+    for index, member in members:
+        grouped.setdefault(member.bucket_key, []).append((index, member))
+    chunks: List[List[Tuple[int, MemberSetup]]] = []
+    for bucket in grouped.values():
+        for start in range(0, len(bucket), max_members):
+            chunks.append(bucket[start:start + max_members])
+    return chunks

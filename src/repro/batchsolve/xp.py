@@ -1,0 +1,40 @@
+"""Array-namespace seam of the batched kernels.
+
+Every tensor operation in :mod:`repro.batchsolve.kernels` goes through the
+namespace returned by :func:`get_namespace` — numpy by default.  A GPU
+drop-in (cupy, or torch behind an adapter exposing ``stack``/``zeros``/
+``clip``/``linalg.eigh``/``matmul`` with numpy semantics) is therefore a
+backend swap, not a kernel rewrite.
+
+Digest guarantees only hold for the numpy namespace: the bit-identity of
+``--exec batch`` against the scalar path relies on numpy's gufuncs being
+slice-independent.  An alternative namespace trades that guarantee for
+throughput, which is why swapping is an explicit opt-in and never inferred.
+"""
+
+from __future__ import annotations
+
+import numpy
+
+_namespace = numpy
+
+
+def get_namespace():
+    """The active array namespace (numpy unless a caller swapped it)."""
+    return _namespace
+
+
+def set_namespace(namespace) -> None:
+    """Install a numpy-compatible array namespace (e.g. cupy).
+
+    The caller owns host/device transfers and accepts that assignment
+    digests are only guaranteed bit-identical under numpy.
+    """
+    global _namespace
+    _namespace = namespace
+
+
+def reset_namespace() -> None:
+    """Restore the default numpy namespace."""
+    global _namespace
+    _namespace = numpy

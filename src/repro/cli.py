@@ -114,10 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument(
         "--exec", dest="exec_backend", default="pool",
-        choices=["pool", "dist"],
-        help="parallel execution backend: 'pool' (static process pool) or "
-             "'dist' (fault-tolerant work-stealing fabric); both are "
-             "bit-identical at equal --workers",
+        choices=["pool", "dist", "batch", "seq"],
+        help="leaf-solve execution backend: 'pool' (static process pool), "
+             "'dist' (fault-tolerant work-stealing fabric), 'batch' "
+             "(in-process vectorized ADMM over shape-bucketed stacks; sdp "
+             "method only), or 'seq' (single-threaded reference); all four "
+             "produce bit-identical assignments at any --workers",
     )
     p_run.add_argument(
         "--dist-listen", default=None, metavar="HOST:PORT",
@@ -183,7 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bsv.add_argument("--workers", type=int, default=0)
     p_bsv.add_argument(
         "--exec", dest="exec_backend", default="pool",
-        choices=["pool", "dist"],
+        choices=["pool", "dist", "batch", "seq"],
         help="execution backend requested from the server (and used by "
              "--verify's local run)",
     )
@@ -335,9 +337,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.ledger:
         obs.convergence.enable()
     cpla_config = None
+    if args.exec_backend == "batch" and args.method != "sdp":
+        print(
+            f"--exec batch requires --method sdp (the batched kernels only "
+            f"cover the SDP solver), got method {args.method!r}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     if args.method in ("sdp", "ilp"):
         dist_config = None
-        if args.exec_backend == "dist":
+        if args.exec_backend in ("batch", "seq"):
+            if args.workers:
+                print(
+                    f"warning: --workers has no effect with --exec "
+                    f"{args.exec_backend}; the backend runs in-process",
+                    file=sys.stderr,
+                )
+            if args.dist_listen:
+                print(
+                    "warning: --dist-listen only applies with --exec dist; "
+                    "ignored",
+                    file=sys.stderr,
+                )
+        elif args.exec_backend == "dist":
             if args.workers < 1:
                 print(
                     "warning: --exec dist parallelizes nothing without "

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.runreport import IterationStats, RunReport
+from repro.batchsolve.solver import BatchLeafSolver
 from repro.dist.fabric import DistFabric, DistFabricConfig, task_cost
 from repro.obs import collect, convergence, metrics, tracer
 from repro.core.ilp import IlpConfig, IlpPartitionSolver
@@ -288,12 +289,21 @@ class CPLAConfig:
     protect_fraction: float = 0.9
     leaf_order: str = "spatial"  # or "criticality": hottest partitions first
     workers: int = 0
-    # Parallel execution backend: "pool" is the persistent
-    # ProcessPoolExecutor; "dist" is the coordinator/worker solve fabric
-    # (dynamic largest-first scheduling, work stealing, crash/timeout
-    # retry — see repro.dist).  Both are Jacobi solves from a common
-    # snapshot and produce bit-identical assignments.
+    # Execution backend of the leaf solves:
+    # - "pool": the persistent ProcessPoolExecutor (needs workers > 1);
+    # - "dist": the coordinator/worker solve fabric (dynamic largest-first
+    #   scheduling, work stealing, crash/timeout retry — see repro.dist);
+    # - "batch": in-process vectorized ADMM over shape-bucketed stacks
+    #   (repro.batchsolve; sdp method only, --workers is meaningless);
+    # - "seq": in-process one-at-a-time solves of the same common snapshot
+    #   (the single-threaded reference of the family).
+    # All four are Jacobi solves from a common snapshot and produce
+    # bit-identical assignments at any worker count.  (Plain "pool" with
+    # workers <= 1 keeps the historical Gauss-Seidel sequential path,
+    # which legitimately differs — boundary layers update leaf by leaf.)
     exec_backend: str = "pool"
+    # Batched backend: cap on members stacked per kernel call (memory).
+    batch_max_members: int = 64
     dist: Optional[DistFabricConfig] = None
     sdp: SdpRelaxationConfig = field(default_factory=SdpRelaxationConfig)
     ilp: IlpConfig = field(default_factory=IlpConfig)
@@ -307,8 +317,15 @@ class CPLAConfig:
             raise ValueError("critical_ratio must be a fraction in (0, 1]")
         if self.leaf_order not in ("spatial", "criticality"):
             raise ValueError(f"unknown leaf_order {self.leaf_order!r}")
-        if self.exec_backend not in ("pool", "dist"):
+        if self.exec_backend not in ("pool", "dist", "batch", "seq"):
             raise ValueError(f"unknown exec_backend {self.exec_backend!r}")
+        if self.exec_backend == "batch" and self.method != "sdp":
+            raise ValueError(
+                "exec_backend 'batch' requires method 'sdp' "
+                "(the ILP solver has no batched kernels)"
+            )
+        if self.batch_max_members < 1:
+            raise ValueError("batch_max_members must be >= 1")
 
 
 # The report type is shared with the TILA baseline so the evaluation
@@ -333,6 +350,14 @@ class CPLAEngine:
         if self.config.method == "sdp":
             self._solver = SdpPartitionSolver(self.config.sdp)
         else:
+            if self.config.exec_backend == "batch":
+                # Re-checked here because callers (the benchmark pipeline's
+                # run_method) may swap config.method after construction of
+                # the config object.
+                raise ValueError(
+                    "exec_backend 'batch' requires method 'sdp' "
+                    "(the ILP solver has no batched kernels)"
+                )
             self._solver = IlpPartitionSolver(self.config.ilp, grid=self.grid)
         self._worker_clock = WallClock()
         # Either a LeafSolvePool or a DistFabric — both satisfy the same
@@ -361,7 +386,9 @@ class CPLAEngine:
             report.metrics = metrics.registry().as_dict()
         if convergence.is_enabled():
             report.convergence = convergence.snapshot()
-        if isinstance(self._pool, DistFabric):
+        # The dist fabric and the batched backend both publish scheduler
+        # counters; the plain process pool has none.
+        if self._pool is not None and hasattr(self._pool, "stats_snapshot"):
             report.scheduler = self._pool.stats_snapshot()
         return report
 
@@ -577,7 +604,15 @@ class CPLAEngine:
         metrics.inc("engine.partitions", len(leaves))
         ledger = CapacityLedger(self.grid)
         reserved = self._reserve_protected_tracks(active, timings, ledger)
-        if cfg.workers and cfg.workers > 1:
+        if cfg.exec_backend == "batch":
+            self._solve_batched(
+                leaves, nets_by_id, timings, weights, ledger, reserved, clock
+            )
+        elif cfg.exec_backend == "seq":
+            self._solve_jacobi(
+                leaves, nets_by_id, timings, weights, ledger, reserved, clock
+            )
+        elif cfg.workers and cfg.workers > 1:
             self._solve_parallel(
                 leaves, nets_by_id, timings, weights, ledger, reserved, clock
             )
@@ -716,6 +751,66 @@ class CPLAEngine:
                 self._record_partition(
                     leaf_index, problem, info, leaf_seconds, overflow, timings
                 )
+
+    def _solve_batched(
+        self, leaves, nets_by_id, timings, weights, ledger, reserved, clock
+    ) -> None:
+        """Vectorized in-process Jacobi solve (``exec_backend='batch'``).
+
+        Extracts every leaf from the common snapshot (same as the parallel
+        path) and hands the whole batch to the
+        :class:`~repro.batchsolve.solver.BatchLeafSolver`, which buckets
+        the SDPs by shape and runs one lockstep ADMM kernel per bucket.
+        Per-leaf ``solve_seconds`` is the member's iteration-weighted share
+        of its bucket's wall clock.
+        """
+        with clock.phase("extract"):
+            problems = [
+                extract_partition_problem(
+                    self.grid, self.elmore, nets_by_id, timings, keys,
+                    self.config.via_penalty_weight, weights,
+                )
+                for _, keys in leaves
+            ]
+        if self._pool is None:
+            self._pool = BatchLeafSolver(
+                self._solver, self.config.batch_max_members
+            )
+        with clock.phase("solve"):
+            results = self._pool.solve_many(problems)
+        for leaf_index, (problem, (x_values, info, leaf_seconds)) in enumerate(
+            zip(problems, results)
+        ):
+            metrics.inc("engine.leaves")
+            metrics.observe("engine.leaf_solve_seconds", leaf_seconds, _LEAF_BUCKETS)
+            overflow = self._map_and_apply(
+                problem, x_values, ledger, reserved, nets_by_id, clock
+            )
+            if convergence.is_enabled():
+                self._record_partition(
+                    leaf_index, problem, info, leaf_seconds, overflow, timings
+                )
+
+    def _solve_jacobi(
+        self, leaves, nets_by_id, timings, weights, ledger, reserved, clock
+    ) -> None:
+        """Single-threaded Jacobi reference solve (``exec_backend='seq'``).
+
+        Extracts every leaf from the common snapshot first, then solves
+        one at a time — the workers-free member of the pool/dist/batch
+        digest-identity family.  (Contrast with :meth:`_solve_sequential`,
+        the default Gauss-Seidel path, which interleaves extraction with
+        mapping so later leaves see earlier leaves' boundary updates.)
+        """
+        with clock.phase("extract"):
+            problems = [
+                extract_partition_problem(
+                    self.grid, self.elmore, nets_by_id, timings, keys,
+                    self.config.via_penalty_weight, weights,
+                )
+                for _, keys in leaves
+            ]
+        self._solve_fallback(problems, nets_by_id, ledger, reserved, clock, timings)
 
     def _solve_fallback(
         self, problems, nets_by_id, ledger, reserved, clock, timings

@@ -130,12 +130,57 @@ class SdpPartitionSolver:
         else:
             self._warm[key] = X
 
-    def solve(self, problem: PartitionProblem) -> Tuple[List[np.ndarray], SdpSolveInfo]:
-        """Return per-variable fractional layer weights plus diagnostics."""
-        if problem.num_vars == 0:
-            info = SdpSolveInfo(0, 0, 0, True, 0.0, "empty")
-            return [], info
+    @property
+    def admm(self) -> ADMMSDPSolver:
+        """The underlying ADMM solver (the batch backend shares it)."""
+        return self._solver
 
+    def lookup_warm(
+        self, signature: Tuple, n: int
+    ) -> Optional[np.ndarray]:
+        """The stored relaxed X for ``signature`` if shape-compatible.
+
+        A solve whose matrix order changed (capacity slacks appeared or
+        disappeared) falls back to a cold start.
+        """
+        if not self.config.warm_start:
+            return None
+        warm = self._warm.get(signature)
+        if warm is not None and warm.shape != (n, n):
+            warm = None
+        return warm
+
+    def store_warm(
+        self, signature: Tuple, X: np.ndarray, was_warm: bool
+    ) -> None:
+        """Advance the warm store after one solve (counts warm reuses)."""
+        if self.config.warm_start:
+            self._warm[signature] = X
+            if was_warm:
+                metrics.inc("sdp.warm_starts")
+
+    @staticmethod
+    def note_solve(result: SDPResult, n: int) -> None:
+        """Per-solve metrics, identical across execution backends."""
+        metrics.inc("sdp.solves")
+        metrics.inc("sdp.iterations", result.iterations)
+        if not result.converged:
+            metrics.inc("sdp.nonconverged")
+        metrics.set_gauge("sdp.last_objective", result.objective)
+        metrics.observe(
+            "sdp.matrix_order", n, buckets=(4, 8, 16, 32, 64, 128, 256)
+        )
+
+    def build_sdp(
+        self, problem: PartitionProblem
+    ) -> Tuple[SDPProblem, List[int], str]:
+        """Lift one partition problem to its SDP (Section 3.3 construction).
+
+        Returns the assembled :class:`SDPProblem`, the per-variable layer
+        offsets into the matrix, and the resolved constraint mode.  Shared
+        by the scalar :meth:`solve` and the batched backend so both lift
+        the identical SDP instance.
+        """
         mode = self.config.constraint_mode
         if mode == "auto":
             mode = (
@@ -185,12 +230,17 @@ class SdpPartitionSolver:
                 [1.0, 1.0, -1.0, 1.0],
                 1.0,
             )
+        return sdp, offsets, mode
 
-        signature = tuple(var.key for var in problem.vars)
-        warm = self._warm.get(signature) if self.config.warm_start else None
-        if warm is not None and warm.shape != (n, n):
-            # Matrix order changed (slack/linking rows differ): cold start.
-            warm = None
+    def solve(self, problem: PartitionProblem) -> Tuple[List[np.ndarray], SdpSolveInfo]:
+        """Return per-variable fractional layer weights plus diagnostics."""
+        if problem.num_vars == 0:
+            info = SdpSolveInfo(0, 0, 0, True, 0.0, "empty")
+            return [], info
+        sdp, offsets, mode = self.build_sdp(problem)
+        n = sdp.n
+        signature = self.warm_key(problem)
+        warm = self.lookup_warm(signature, n)
         with tracer.span(
             "solver.sdp",
             order=n,
@@ -198,10 +248,7 @@ class SdpPartitionSolver:
             warm=warm is not None,
         ):
             result: SDPResult = self._solver.solve(sdp, warm_start=warm)
-        if self.config.warm_start:
-            self._warm[signature] = result.X
-            if warm is not None:
-                metrics.inc("sdp.warm_starts")
+        self.store_warm(signature, result.X, warm is not None)
         x_values = self._extract(problem, offsets, result.X)
         info = SdpSolveInfo(
             matrix_order=n,
@@ -212,14 +259,7 @@ class SdpPartitionSolver:
             mode=mode,
             warm_start=warm is not None,
         )
-        metrics.inc("sdp.solves")
-        metrics.inc("sdp.iterations", result.iterations)
-        if not result.converged:
-            metrics.inc("sdp.nonconverged")
-        metrics.set_gauge("sdp.last_objective", result.objective)
-        metrics.observe(
-            "sdp.matrix_order", n, buckets=(4, 8, 16, 32, 64, 128, 256)
-        )
+        self.note_solve(result, n)
         return x_values, info
 
     # -- construction helpers --------------------------------------------------

@@ -28,7 +28,7 @@ RESPONSE_SCHEMA = "repro.assign_response/v1"
 
 METHODS = ("sdp", "ilp", "tila", "tila+flow")
 
-EXEC_BACKENDS = ("pool", "dist")
+EXEC_BACKENDS = ("pool", "dist", "batch", "seq")
 
 _REQUEST_KEYS = {
     "schema", "benchmark", "scale", "ratio_percent", "method", "workers",
@@ -51,9 +51,10 @@ class AssignRequest:
     is part of the signature because sequential (Gauss–Seidel) and pooled
     (Jacobi) solves legitimately produce different — both valid —
     assignments.  ``exec_backend`` (JSON key ``"exec"``) is part of the
-    signature too, even though pool and dist are bit-identical at equal
-    workers: the resident engine holds the backend's live resources, so
-    the two must never share one resident.
+    signature too, even though pool, dist, batch, and seq are
+    bit-identical on equal snapshots: the resident engine holds the
+    backend's live resources, so two backends must never share one
+    resident.
     """
 
     benchmark: str
@@ -102,6 +103,11 @@ class AssignRequest:
         if exec_backend not in EXEC_BACKENDS:
             raise RequestError(
                 f"exec {exec_backend!r} is not one of {EXEC_BACKENDS}"
+            )
+        if exec_backend == "batch" and method != "sdp":
+            raise RequestError(
+                "exec 'batch' requires method 'sdp' "
+                "(the batched kernels only cover the SDP solver)"
             )
         deadline_ms = payload.get("deadline_ms")
         if deadline_ms is not None:

@@ -33,6 +33,7 @@ _enabled = False
 _lock = threading.Lock()
 _solves: List["SolveRecord"] = []
 _partitions: List["PartitionRecord"] = []
+_buckets: List["BucketRecord"] = []
 
 
 def enable() -> None:
@@ -52,10 +53,11 @@ def is_enabled() -> bool:
 
 
 def reset() -> None:
-    """Clear the solve and partition buffers (worker-task prologue)."""
+    """Clear the solve, partition, and bucket buffers (worker-task prologue)."""
     with _lock:
         _solves.clear()
         _partitions.clear()
+        _buckets.clear()
 
 
 @dataclass
@@ -101,6 +103,29 @@ class PartitionRecord:
     tcp_contribution: float
 
 
+@dataclass
+class BucketRecord:
+    """One batched-backend kernel call over a shape bucket (parent-side).
+
+    Written by :class:`repro.batchsolve.solver.BatchLeafSolver`: the
+    bucket's matrix order (``num_constraints`` is the largest constraint
+    count stacked — counts may vary within a bucket), how many members
+    stacked, how long the lockstep loop ran, and how much
+    member-iteration work freezing early convergers saved.  The "why are
+    my buckets fragmenting" walkthrough in docs/OBSERVABILITY.md reads
+    these records.
+    """
+
+    matrix_order: int
+    num_constraints: int
+    members: int
+    iterations: int
+    member_iterations: int
+    converged: int
+    frozen_fraction: float
+    solve_seconds: float
+
+
 def record_solve(record: SolveRecord) -> None:
     if _enabled:
         with _lock:
@@ -113,13 +138,26 @@ def record_partition(record: PartitionRecord) -> None:
             _partitions.append(record)
 
 
+def record_bucket(record: BucketRecord) -> None:
+    if _enabled:
+        with _lock:
+            _buckets.append(record)
+
+
 def snapshot() -> Dict[str, List[Dict[str, Any]]]:
-    """Plain-dict copy of both buffers (the ``RunReport.convergence`` form)."""
+    """Plain-dict copy of the buffers (the ``RunReport.convergence`` form).
+
+    The ``buckets`` key appears only when the batched backend recorded
+    kernel calls, so pool/dist/sequential snapshots keep their shape.
+    """
     with _lock:
-        return {
+        out = {
             "solves": [asdict(r) for r in _solves],
             "partitions": [asdict(r) for r in _partitions],
         }
+        if _buckets:
+            out["buckets"] = [asdict(r) for r in _buckets]
+        return out
 
 
 def drain_solves() -> List[Dict[str, Any]]:
@@ -177,6 +215,7 @@ def summarize(
         return out
     solves = data.get("solves", [])
     partitions = data.get("partitions", [])
+    buckets = data.get("buckets", [])
     if solves:
         out["solves"] = {
             "count": len(solves),
@@ -221,6 +260,35 @@ def summarize(
                 for p in ranked[:worst]
             ],
         }
+    if buckets:
+        members = [b["members"] for b in buckets]
+        potential = sum(b["members"] * b["iterations"] for b in buckets)
+        actual = sum(b["member_iterations"] for b in buckets)
+        out["buckets"] = {
+            "count": len(buckets),
+            "members": sum(members),
+            "singletons": sum(1 for m in members if m == 1),
+            "largest": max(members),
+            "median_members": _percentile([float(m) for m in members], 0.50),
+            "lockstep_iterations": sum(b["iterations"] for b in buckets),
+            "member_iterations": actual,
+            "frozen_fraction": round(
+                1.0 - actual / potential if potential else 0.0, 4
+            ),
+            "solve_seconds": round(sum(b["solve_seconds"] for b in buckets), 4),
+            # The largest buckets verbatim — the fragmentation walkthrough
+            # wants to see which shapes actually stacked.
+            "largest_buckets": [
+                {
+                    "matrix_order": b["matrix_order"],
+                    "num_constraints": b["num_constraints"],
+                    "members": b["members"],
+                    "iterations": b["iterations"],
+                    "frozen_fraction": b["frozen_fraction"],
+                }
+                for b in sorted(buckets, key=lambda b: -b["members"])[:worst]
+            ],
+        }
     return out
 
 
@@ -243,6 +311,17 @@ def summary_text(summary: Dict[str, Any]) -> str:
         lines.append(
             f"  projection time: {solves['projection_seconds']:.3f}s, "
             f"PSD identity fraction {solves['psd_identity_fraction']:.2f}"
+        )
+    buckets = summary.get("buckets")
+    if buckets:
+        lines.append(
+            "  batch buckets: {count} kernel calls over {members} members "
+            "({singletons} singletons, largest {largest})".format(**buckets)
+        )
+        lines.append(
+            f"  batch freezing saved {buckets['frozen_fraction']:.0%} of "
+            f"member-iterations ({buckets['member_iterations']} run, "
+            f"{buckets['lockstep_iterations']} lockstep)"
         )
     parts = summary.get("partitions")
     if parts:

@@ -217,7 +217,17 @@ def render_entry(entry: Dict[str, Any]) -> str:
             + "  ".join(f"{k}={v:.2f}s" for k, v in sorted(worker_phases.items()))
         )
     scheduler = entry.get("scheduler")
-    if scheduler:
+    if scheduler and scheduler.get("backend") == "batch":
+        lines.extend([
+            "batch backend:",
+            f"  kernel calls {scheduler.get('bucket_solves', 0)}  "
+            f"members {scheduler.get('members', 0)}  "
+            f"largest bucket {scheduler.get('max_bucket', 0)}",
+            f"  lockstep iterations {scheduler.get('batched_iterations', 0)}  "
+            f"member iterations {scheduler.get('member_iterations', 0)}  "
+            f"frozen {scheduler.get('frozen_fraction', 0.0):.1%}",
+        ])
+    elif scheduler:
         util = scheduler.get("utilization", {}) or {}
         util_text = (
             "  ".join(f"{k}={v:.0%}" for k, v in sorted(util.items()))
@@ -270,6 +280,10 @@ _DIFF_FIELDS = (
     ("dist retries", ("scheduler", "retries")),
     ("dist steals", ("scheduler", "steals")),
     ("dist stragglers", ("scheduler", "stragglers")),
+    # Batched runs (``--exec batch``): absent from every other backend.
+    ("batch bucket solves", ("scheduler", "bucket_solves")),
+    ("batch lockstep iters", ("scheduler", "batched_iterations")),
+    ("batch frozen fraction", ("scheduler", "frozen_fraction")),
     # Serving entries (``repro bench-serve``): absent from solve runs, and
     # _lookup simply skips missing paths.
     ("serve p50 latency ms", ("serving", "latency_ms", "p50")),

@@ -25,8 +25,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
-import scipy.linalg as sla
 
+from repro.batchsolve.kernels import (
+    AdmmOptions,
+    MemberResult,
+    MemberSetup,
+    build_member,
+    run_admm,
+)
 from repro.obs import convergence
 from repro.solver.psd import SymmetricOps, entry_svec_index, smat, svec, svec_dim
 from repro.utils import get_logger
@@ -165,11 +171,17 @@ class SDPProblem:
 class ADMMSDPSolver:
     """Consensus-ADMM solver for :class:`SDPProblem` instances.
 
+    The numerical loop lives in :func:`repro.batchsolve.kernels.run_admm`;
+    this class is its batch-size-1 front end.  That sharing is the batched
+    backend's correctness story: ``--exec batch`` stacks the very same
+    members and runs the very same kernel, so scalar and batched solves
+    are bit-identical by construction.
+
     The solver is stateless with respect to problems but keeps a
     :class:`~repro.solver.psd.SymmetricOps` workspace per matrix order —
     partition leaves of the same size (the common case across engine
-    iterations) reuse the index arrays and eigendecomposition sizing
-    instead of re-deriving them on every projection.
+    iterations) reuse the index arrays, and the lifetime PSD-projection
+    counters aggregate across backends.
     """
 
     def __init__(self, settings: Optional[SDPSettings] = None) -> None:
@@ -182,152 +194,120 @@ class ADMMSDPSolver:
             ops = self._ops[n] = SymmetricOps(n)
         return ops
 
+    def admm_options(self) -> AdmmOptions:
+        """The kernel-facing view of :class:`SDPSettings`."""
+        cfg = self.settings
+        return AdmmOptions(
+            rho=cfg.rho,
+            max_iterations=cfg.max_iterations,
+            tolerance=cfg.tolerance,
+            check_every=cfg.check_every,
+            adaptive_rho=cfg.adaptive_rho,
+            rho_scale_limit=cfg.rho_scale_limit,
+        )
+
+    def prepare_member(
+        self, problem: SDPProblem, warm_start: Optional[np.ndarray] = None
+    ) -> MemberSetup:
+        """Build the kernel member for one problem (shared with ``batch``).
+
+        Normalizing the cost keeps rho meaningful across instances; the
+        box bounds get the svec sqrt(2) off-diagonal scaling with
+        infinities kept infinite.
+        """
+        n = problem.n
+        ops = self._ops_for(n)
+        c = ops.svec(problem.cost)
+        A = b = None
+        if problem.num_constraints:
+            A, b = problem.constraint_matrix()
+        lower = upper = None
+        if problem.box_lower is not None and problem.box_upper is not None:
+            lower = np.nan_to_num(svec(problem.box_lower), neginf=-np.inf)
+            upper = np.nan_to_num(svec(problem.box_upper), posinf=np.inf)
+        x0 = svec(warm_start) if warm_start is not None else np.zeros(svec_dim(n))
+        return build_member(
+            n, c, x0, A=A, b=b, lower=lower, upper=upper,
+            warm=warm_start is not None,
+        )
+
+    def finish(
+        self, problem: SDPProblem, member_result: MemberResult
+    ) -> SDPResult:
+        """Turn one kernel member result into an :class:`SDPResult`.
+
+        Reports the PSD consensus copy (exactly feasible for the cone) and
+        folds the member's projection counters into the per-order
+        :class:`~repro.solver.psd.SymmetricOps` lifetime counts.
+        """
+        n = problem.n
+        ops = self._ops_for(n)
+        ops.projection_count += member_result.projections
+        ops.identity_count += member_result.identities
+        X = smat(member_result.z_psd, n)
+        objective = float(np.tensordot(problem.cost, X))
+        return SDPResult(
+            X=X,
+            objective=objective,
+            iterations=member_result.iterations,
+            primal_residual=member_result.primal,
+            dual_residual=member_result.dual,
+            converged=member_result.converged,
+            max_constraint_violation=problem.violation(X),
+        )
+
+    @staticmethod
+    def make_solve_record(
+        problem: SDPProblem,
+        member: MemberSetup,
+        member_result: MemberResult,
+        result: SDPResult,
+        solve_seconds: float,
+        projection_seconds: float,
+    ) -> convergence.SolveRecord:
+        """The convergence record of one member solve (any backend)."""
+        return convergence.SolveRecord(
+            solver="sdp",
+            matrix_order=problem.n,
+            num_constraints=problem.num_constraints,
+            warm_start=member.warm,
+            iterations=result.iterations,
+            converged=result.converged,
+            objective=result.objective,
+            primal_residual=result.primal_residual,
+            dual_residual=result.dual_residual,
+            solve_seconds=solve_seconds,
+            projection_seconds=projection_seconds,
+            psd_identity_fraction=(
+                member_result.identities / member_result.projections
+                if member_result.projections else 0.0
+            ),
+            samples=member_result.samples,
+        )
+
     def solve(
         self, problem: SDPProblem, warm_start: Optional[np.ndarray] = None
     ) -> SDPResult:
-        cfg = self.settings
-        n = problem.n
-        d = svec_dim(n)
-        ops = self._ops_for(n)
-        c = ops.svec(problem.cost)
-        # Normalizing the cost keeps rho meaningful across instances.
-        c_scale = float(np.linalg.norm(c))
-        c_hat = c / c_scale if c_scale > 0 else c
-
-        projections = [ops.project_psd_svec]
-        if problem.num_constraints:
-            projections.append(self._make_affine_projection(problem, d))
-        box = self._make_box_projection(problem, n)
-        if box is not None:
-            projections.append(box)
-        m_sets = len(projections)
-
-        rho = cfg.rho
-        x = svec(warm_start) if warm_start is not None else np.zeros(d)
-        z = [x.copy() for _ in range(m_sets)]
-        u = [np.zeros(d) for _ in range(m_sets)]
-
-        # Convergence recorder: OFF means one flag check before the loop and
-        # two dead branches per iteration; ON samples the residual checks and
-        # times the projection block (repro.obs.convergence).
+        # Convergence recorder: OFF means one flag check before the solve;
+        # ON samples the residual checks and times the projection block
+        # (repro.obs.convergence).
         recording = convergence.is_enabled()
-        samples: List[Dict[str, float]] = []
-        proj_seconds = 0.0
         solve_start = time.perf_counter() if recording else 0.0
-        proj_base = ops.projection_count
-        ident_base = ops.identity_count
-
-        iterations = 0
-        primal = dual = np.inf
-        converged = False
-        for iterations in range(1, cfg.max_iterations + 1):
-            x_prev = x
-            x = sum(zi - ui for zi, ui in zip(z, u)) / m_sets - c_hat / (m_sets * rho)
-            if recording:
-                proj_start = time.perf_counter()
-            for i, proj in enumerate(projections):
-                v = x + u[i]
-                z[i] = proj(v)
-                u[i] = v - z[i]
-            if recording:
-                proj_seconds += time.perf_counter() - proj_start
-
-            if iterations % cfg.check_every == 0 or iterations == cfg.max_iterations:
-                primal = max(float(np.linalg.norm(x - zi)) for zi in z)
-                dual = float(rho * np.sqrt(m_sets) * np.linalg.norm(x - x_prev))
-                if recording:
-                    samples.append({
-                        "iteration": iterations,
-                        "objective": float(c @ x),
-                        "primal": primal,
-                        "dual": dual,
-                        "rho": rho,
-                    })
-                scale = max(1.0, float(np.linalg.norm(x)))
-                if primal <= cfg.tolerance * scale and dual <= cfg.tolerance * scale:
-                    converged = True
-                    break
-                if cfg.adaptive_rho:
-                    rho = self._adapt_rho(rho, primal, dual, u)
-
-        # Report the PSD copy: it is exactly feasible for the cone.
-        X = smat(z[0], n)
-        objective = float(np.tensordot(problem.cost, X))
-        result = SDPResult(
-            X=X,
-            objective=objective,
-            iterations=iterations,
-            primal_residual=primal,
-            dual_residual=dual,
-            converged=converged,
-            max_constraint_violation=problem.violation(X),
+        member = self.prepare_member(problem, warm_start)
+        member_results, stats = run_admm(
+            [member], self.admm_options(), recording=recording
         )
+        member_result = member_results[0]
+        result = self.finish(problem, member_result)
         if recording:
-            num_proj = ops.projection_count - proj_base
-            convergence.record_solve(convergence.SolveRecord(
-                solver="sdp",
-                matrix_order=n,
-                num_constraints=problem.num_constraints,
-                warm_start=warm_start is not None,
-                iterations=iterations,
-                converged=converged,
-                objective=objective,
-                primal_residual=primal,
-                dual_residual=dual,
+            convergence.record_solve(self.make_solve_record(
+                problem, member, member_result, result,
                 solve_seconds=time.perf_counter() - solve_start,
-                projection_seconds=proj_seconds,
-                psd_identity_fraction=(
-                    (ops.identity_count - ident_base) / num_proj
-                    if num_proj else 0.0
-                ),
-                samples=samples,
+                projection_seconds=stats.projection_seconds,
             ))
-        if not converged:
+        if not result.converged:
             log.debug(
                 "SDP stopped at max_iterations=%d (primal=%.2e dual=%.2e)",
-                iterations, primal, dual,
+                result.iterations, result.primal_residual, result.dual_residual,
             )
         return result
-
-    # -- projections ------------------------------------------------------
-
-    @staticmethod
-    def _make_affine_projection(problem: SDPProblem, d: int):
-        A, b = problem.constraint_matrix()
-        gram = A @ A.T
-        # Ridge guards against duplicated (rank-deficient) constraint rows.
-        gram[np.diag_indices_from(gram)] += 1e-10
-        factor = sla.cho_factor(gram, check_finite=False)
-
-        def proj(v: np.ndarray) -> np.ndarray:
-            resid = A @ v - b
-            return v - A.T @ sla.cho_solve(factor, resid, check_finite=False)
-
-        return proj
-
-    @staticmethod
-    def _make_box_projection(problem: SDPProblem, n: int):
-        if problem.box_lower is None or problem.box_upper is None:
-            return None
-        lower = svec(problem.box_lower)
-        upper = svec(problem.box_upper)
-        # svec scales off-diagonals by sqrt(2); infinities stay infinite.
-        lower = np.nan_to_num(lower, neginf=-np.inf)
-        upper = np.nan_to_num(upper, posinf=np.inf)
-
-        def proj(v: np.ndarray) -> np.ndarray:
-            return np.clip(v, lower, upper)
-
-        return proj
-
-    def _adapt_rho(self, rho: float, primal: float, dual: float, u: List[np.ndarray]) -> float:
-        cfg = self.settings
-        if primal > 10 * dual and rho < cfg.rho * cfg.rho_scale_limit:
-            for ui in u:
-                ui /= 2.0
-            return rho * 2.0
-        if dual > 10 * primal and rho > cfg.rho / cfg.rho_scale_limit:
-            for ui in u:
-                ui *= 2.0
-            return rho / 2.0
-        return rho

@@ -60,3 +60,31 @@ class TestDeterminism:
         a = prepare(generate(tiny_spec(seed=7)))
         b = prepare(generate(tiny_spec(seed=8)))
         assert layer_signature(a) != layer_signature(b)
+
+    def test_exec_backend_family_bit_identical(self):
+        """seq, batch, and pool are one digest family at any worker count.
+
+        The batched backend stacks mixed-shape leaves into shape buckets
+        (the tiny benchmark produces several distinct matrix orders per
+        iteration), so this also exercises bucketing + lockstep freezing
+        end to end.
+        """
+        cfg = dict(
+            method="sdp",
+            critical_ratio=0.05,
+            max_iterations=2,
+            max_phase_iterations=1,
+            sdp=SdpRelaxationConfig(
+                settings=SDPSettings(tolerance=5e-4, max_iterations=400)
+            ),
+        )
+        signatures = {}
+        for backend, workers in (("seq", 0), ("batch", 0), ("pool", 2)):
+            bench = prepare(generate(tiny_spec()))
+            with CPLAEngine(
+                bench,
+                CPLAConfig(exec_backend=backend, workers=workers, **cfg),
+            ) as engine:
+                engine.run()
+            signatures[backend] = layer_signature(bench)
+        assert signatures["seq"] == signatures["batch"] == signatures["pool"]
