@@ -89,6 +89,9 @@ def run_suite(
         phases = dict(report.clock.totals)
         phases["prepare"] = prepare_seconds
         records[name] = {
+            "scale": scale,
+            "nets": bench.num_nets,
+            "segments": sum(len(n.topology.segments) for n in bench.nets),
             "wall_seconds": round(wall, 4),
             "run_seconds": round(report.runtime, 4),
             "phases": {k: round(v, 4) for k, v in sorted(phases.items())},

@@ -60,6 +60,11 @@ class RunReport:
     # exec_backend="dist").  Rides into the run ledger's "scheduler"
     # section — the fault-injection CI gate reads retries from there.
     scheduler: Dict[str, Any] = field(default_factory=dict)
+    # Global-router observability (nets routed/rerouted, reroute rounds,
+    # maze aborts, final 2-D overflow) captured when the benchmark was
+    # prepared; empty when the caller routed out-of-band.  Rides into the
+    # run ledger's "router" section.
+    router: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def runtime(self) -> float:

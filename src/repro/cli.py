@@ -127,6 +127,15 @@ def build_parser() -> argparse.ArgumentParser:
              "(authkey read from the REPRO_DIST_AUTHKEY env var; join with "
              "'repro dist-worker --connect HOST:PORT')",
     )
+    p_run.add_argument(
+        "--router-rounds", type=int, default=0, metavar="N",
+        help="global-router negotiation rounds (0 = RouterConfig default)",
+    )
+    p_run.add_argument(
+        "--maze-expansion-limit", type=int, default=0, metavar="N",
+        help="abort a maze reroute search after N expansions and keep the "
+             "net's previous route (0 = RouterConfig default)",
+    )
     _add_observability(p_run)
     _add_common(p_run)
 
@@ -297,6 +306,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail unless the current bench-serve entry's cold/warm "
              "latency ratio is at least X (default: not gated)",
     )
+    p_check.add_argument(
+        "--max-via-overflow-increase", type=float, default=None, metavar="N",
+        help="max tolerated absolute increase of final via overflow "
+             "(default: not gated; 0 means 'no worse than baseline')",
+    )
     p_check.add_argument("-v", "--verbose", action="store_true")
 
     return parser
@@ -405,8 +419,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"(likewise --exec); ignored for method {args.method!r}",
             file=sys.stderr,
         )
+    router_config = None
+    if args.router_rounds or args.maze_expansion_limit:
+        from repro.route.router import RouterConfig
+
+        kwargs = {}
+        if args.router_rounds:
+            kwargs["rounds"] = args.router_rounds
+        if args.maze_expansion_limit:
+            kwargs["maze_expansion_limit"] = args.maze_expansion_limit
+        try:
+            router_config = RouterConfig(**kwargs)
+        except ValueError as exc:
+            print(f"bad router configuration: {exc}", file=sys.stderr)
+            return EXIT_USAGE
     try:
-        bench = prepare(args.benchmark, scale=args.scale)
+        bench = prepare(
+            args.benchmark, scale=args.scale, router_config=router_config
+        )
         report = run_method(
             bench, args.method, critical_ratio=args.ratio / 100.0,
             cpla_config=cpla_config,
@@ -446,6 +476,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "ratio_percent": args.ratio,
                 "workers": args.workers,
                 "exec": args.exec_backend,
+                "router_rounds": args.router_rounds,
+                "maze_expansion_limit": args.maze_expansion_limit,
             },
         )
         obs.ledger.append_entry(args.ledger, entry)
@@ -561,6 +593,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         runtime=args.max_runtime_regression,
         serve_p95_latency=args.max_serve_p95_regression,
         min_warm_speedup=args.min_warm_speedup,
+        via_overflow_increase=args.max_via_overflow_increase,
     )
     violations = run_ledger.check_entries(baseline, current, thresholds)
     label = f"{current.get('benchmark')}/{current.get('method')}"

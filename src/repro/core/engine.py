@@ -390,6 +390,9 @@ class CPLAEngine:
         # counters; the plain process pool has none.
         if self._pool is not None and hasattr(self._pool, "stats_snapshot"):
             report.scheduler = self._pool.stats_snapshot()
+        router_stats = getattr(self.bench, "router_stats", None)
+        if router_stats:
+            report.router = dict(router_stats)
         return report
 
     def close(self) -> None:

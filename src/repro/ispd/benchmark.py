@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.grid.graph import Edge2D, GridGraph
 from repro.grid.layers import LayerStack
+from repro.ispd.store import NetStore
 from repro.route.net import Net
 
 
@@ -17,6 +18,10 @@ class Benchmark:
     ``adjustments`` maps ``(edge, layer)`` to the adjusted track count (the
     ISPD'08 "capacity adjustment" records); they are already applied to
     ``grid`` — the mapping is kept so the writer can round-trip the file.
+
+    ``store`` is the structured-array pin/net storage backing ``nets`` when
+    the instance came from the streaming parser or the synthetic generator;
+    ``None`` for hand-built benchmarks whose nets own their pins directly.
     """
 
     name: str
@@ -24,6 +29,11 @@ class Benchmark:
     nets: List[Net] = field(default_factory=list)
     adjustments: Dict[Tuple[Edge2D, int], int] = field(default_factory=dict)
     lower_left: Tuple[float, float] = (0.0, 0.0)
+    store: Optional[NetStore] = None
+    # RouterStats.as_dict() snapshot recorded when this instance was routed
+    # (filled by pipeline.prepare); empty until then.  The optimizer engines
+    # copy it into RunReport.router so ledger entries carry it.
+    router_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def stack(self) -> LayerStack:

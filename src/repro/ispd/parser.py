@@ -21,6 +21,15 @@ Capacities are in length units; track counts are capacity divided by
 caller supplies an :class:`~repro.timing.rc.RCProfile` (defaults to
 :func:`~repro.timing.rc.industrial_rc`), matching the paper's use of
 out-of-band "industrial settings".
+
+The net section is the bulk of a real instance (0.2M–2.6M nets), so it is
+parsed in streaming chunks: pin tokens accumulate in flat Python lists and
+are converted ``chunk_pins`` at a time with one ``np.array`` call, tile
+mapping and layer validation run vectorized on the chunk, and the rows land
+in a :class:`~repro.ispd.store.NetStoreBuilder`.  No per-pin Python object
+is created; the :class:`~repro.route.net.Net` views handed back on
+``Benchmark.nets`` materialize :class:`~repro.route.net.Pin` objects only
+when a consumer asks for them.
 """
 
 from __future__ import annotations
@@ -28,11 +37,15 @@ from __future__ import annotations
 import io
 from typing import List, Optional, TextIO, Tuple, Union
 
+import numpy as np
+
 from repro.grid.graph import GridGraph, edge_between
 from repro.grid.layers import Direction, Layer, LayerStack, alternating_directions
 from repro.ispd.benchmark import Benchmark
-from repro.route.net import Net, Pin
+from repro.ispd.store import NetStoreBuilder
 from repro.timing.rc import RCProfile, industrial_rc
+
+DEFAULT_CHUNK_PINS = 65536
 
 
 class ParseError(ValueError):
@@ -79,23 +92,127 @@ def parse_ispd08(
     name: str = "benchmark",
     rc: Optional[RCProfile] = None,
     pin_capacitance: float = 1.0,
+    chunk_pins: int = DEFAULT_CHUNK_PINS,
 ) -> Benchmark:
     """Parse an ISPD'08 benchmark from a path, file object, or text.
 
     ``source`` may be a filesystem path, an open text handle, or a string
     containing the benchmark text itself (detected by the leading ``grid``
-    keyword).
+    keyword).  ``chunk_pins`` bounds how many pins are tokenized before a
+    bulk numpy conversion; the parse result is independent of its value.
     """
     if isinstance(source, str):
         if source.lstrip().startswith("grid"):
-            return _parse(io.StringIO(source), name, rc, pin_capacitance)
+            return _parse(io.StringIO(source), name, rc, pin_capacitance, chunk_pins)
         with open(source, "r", encoding="utf-8") as handle:
-            return _parse(handle, name, rc, pin_capacitance)
-    return _parse(source, name, rc, pin_capacitance)
+            return _parse(handle, name, rc, pin_capacitance, chunk_pins)
+    return _parse(source, name, rc, pin_capacitance, chunk_pins)
+
+
+class _PinChunker:
+    """Accumulates pin token triples and flushes them vectorized.
+
+    Error reporting stays line-accurate: each buffered pin remembers its
+    source line and net name, and the first offending pin (in file order)
+    wins when a chunk fails validation.
+    """
+
+    def __init__(
+        self,
+        builder: NetStoreBuilder,
+        llx: float,
+        lly: float,
+        tile_w: float,
+        tile_h: float,
+        nx: int,
+        ny: int,
+        num_layers: int,
+        pin_capacitance: float,
+        chunk_pins: int,
+    ) -> None:
+        if chunk_pins < 1:
+            raise ValueError("chunk_pins must be >= 1")
+        self._builder = builder
+        self._llx, self._lly = llx, lly
+        self._tile_w, self._tile_h = tile_w, tile_h
+        self._nx, self._ny = nx, ny
+        self._num_layers = num_layers
+        self._cap = pin_capacitance
+        self._chunk_pins = chunk_pins
+        self._tokens: List[str] = []
+        self._lines: List[int] = []
+        self._net_names: List[str] = []
+
+    def add(self, tokens: List[str], line_no: int, net_name: str) -> None:
+        if len(tokens) != 3:
+            self.flush()
+            raise ParseError(
+                line_no,
+                f"pin of net {net_name}: expected 3 values, got {len(tokens)}",
+            )
+        self._tokens += tokens
+        self._lines.append(line_no)
+        self._net_names.append(net_name)
+        if len(self._lines) >= self._chunk_pins:
+            self.flush()
+
+    def _locate_bad_token(self) -> None:
+        for i, token in enumerate(self._tokens):
+            try:
+                float(token)
+            except ValueError as exc:
+                pin = i // 3
+                raise ParseError(
+                    self._lines[pin], f"pin of net {self._net_names[pin]}: {exc}"
+                ) from exc
+
+    def flush(self) -> None:
+        if not self._lines:
+            return
+        try:
+            vals = np.array(self._tokens, dtype=np.float64)
+        except ValueError:
+            self._locate_bad_token()
+            raise  # pragma: no cover - _locate_bad_token always raises first
+        vals = vals.reshape(-1, 3)
+        layers_f = vals[:, 2]
+        finite = np.isfinite(layers_f)
+        if not finite.all():
+            pin = int(np.argmin(finite))
+            raise ParseError(
+                self._lines[pin],
+                f"pin of net {self._net_names[pin]}: non-finite layer",
+            )
+        # int() truncation toward zero, matching the scalar parser's int(pl).
+        layers = layers_f.astype(np.int64)
+        bad = (layers < 1) | (layers > self._num_layers)
+        if bad.any():
+            pin = int(np.argmax(bad))
+            raise ParseError(
+                self._lines[pin], f"pin layer {int(layers[pin])} out of range"
+            )
+        tx = (vals[:, 0] - self._llx) // self._tile_w
+        ty = (vals[:, 1] - self._lly) // self._tile_h
+        np.clip(tx, 0, self._nx - 1, out=tx)
+        np.clip(ty, 0, self._ny - 1, out=ty)
+        n = len(self._lines)
+        self._builder.add_pin_block(
+            tx.astype(np.int32),
+            ty.astype(np.int32),
+            layers.astype(np.int16),
+            np.full(n, self._cap, dtype=np.float64),
+        )
+        self._tokens.clear()
+        self._lines.clear()
+        self._net_names.clear()
 
 
 def _parse(
-    handle: TextIO, name: str, rc: Optional[RCProfile], pin_capacitance: float
+    handle: TextIO,
+    name: str,
+    rc: Optional[RCProfile],
+    pin_capacitance: float,
+    chunk_pins: int = DEFAULT_CHUNK_PINS,
 ) -> Benchmark:
     lines = _Lines(handle)
 
@@ -168,35 +285,53 @@ def _parse(
         raise ParseError(lines.line_no, f"expected 'num net <n>', got {toks}")
     num_nets = int(toks[2])
 
-    def to_tile(x: float, y: float) -> Tuple[int, int]:
-        tx = int((x - llx) // tile_w)
-        ty = int((y - lly) // tile_h)
-        tx = min(max(tx, 0), nx - 1)
-        ty = min(max(ty, 0), ny - 1)
-        return tx, ty
+    builder = NetStoreBuilder(chunk_pins=chunk_pins)
+    chunker = _PinChunker(
+        builder, llx, lly, tile_w, tile_h, nx, ny, num_layers,
+        pin_capacitance, chunk_pins,
+    )
 
-    nets: List[Net] = []
+    def fail(line_no: int, message: str) -> None:
+        # Buffered pins precede the current line; an error among them must
+        # surface first, matching the unchunked parser's error order.
+        chunker.flush()
+        raise ParseError(line_no, message)
+
+    next_tokens = lines.next_tokens  # bound-method hoist for the hot loop
     for _ in range(num_nets):
-        header = lines.next_tokens()
+        try:
+            header = next_tokens()
+        except ParseError:
+            chunker.flush()
+            raise
         if len(header) not in (3, 4):
-            raise ParseError(lines.line_no, f"bad net header {header}")
+            fail(lines.line_no, f"bad net header {header}")
         net_name = header[0]
-        net_id = int(header[1])
-        num_pins = int(header[2])
+        try:
+            net_id = int(header[1])
+            num_pins = int(header[2])
+        except ValueError:
+            fail(lines.line_no, f"bad net header {header}")
         if num_pins < 1:
-            raise ParseError(lines.line_no, f"net {net_name} has {num_pins} pins")
-        pins = []
+            fail(lines.line_no, f"net {net_name} has {num_pins} pins")
+        builder.add_net(net_id, net_name, num_pins)
         for _ in range(num_pins):
-            ptoks = lines.next_tokens()
-            px, py, pl = _floats(ptoks, lines, 3, f"pin of net {net_name}")
-            layer_idx = int(pl)
-            if not 1 <= layer_idx <= num_layers:
-                raise ParseError(lines.line_no, f"pin layer {layer_idx} out of range")
-            tx, ty = to_tile(px, py)
-            pins.append(Pin(tx, ty, layer_idx, capacitance=pin_capacitance))
-        nets.append(Net(id=net_id, name=net_name, pins=pins))
+            try:
+                ptoks = next_tokens()
+            except ParseError:
+                chunker.flush()
+                raise
+            chunker.add(ptoks, lines.line_no, net_name)
+    chunker.flush()
 
-    bench = Benchmark(name=name, grid=grid, nets=nets, lower_left=(llx, lly))
+    store = builder.build()
+    bench = Benchmark(
+        name=name,
+        grid=grid,
+        nets=store.materialize(),
+        lower_left=(llx, lly),
+        store=store,
+    )
 
     # Optional capacity adjustments.
     toks = lines.maybe_next_tokens()

@@ -32,7 +32,8 @@ EXEC_BACKENDS = ("pool", "dist", "batch", "seq")
 
 _REQUEST_KEYS = {
     "schema", "benchmark", "scale", "ratio_percent", "method", "workers",
-    "exec", "deadline_ms", "return_assignment",
+    "exec", "deadline_ms", "return_assignment", "router_rounds",
+    "maze_expansion_limit",
 }
 
 
@@ -65,6 +66,10 @@ class AssignRequest:
     exec_backend: str = "pool"
     deadline_ms: Optional[float] = None
     return_assignment: bool = False
+    # Global-router knobs (0 = RouterConfig default).  Part of the
+    # signature: they change the prepared routing, hence the problem.
+    router_rounds: int = 0
+    maze_expansion_limit: int = 0
 
     @classmethod
     def from_json(cls, payload: Any) -> "AssignRequest":
@@ -117,6 +122,16 @@ class AssignRequest:
         return_assignment = payload.get("return_assignment", False)
         if not isinstance(return_assignment, bool):
             raise RequestError("return_assignment must be a boolean")
+        router_rounds = payload.get("router_rounds", 0)
+        if not isinstance(router_rounds, int) or isinstance(router_rounds, bool) \
+                or router_rounds < 0:
+            raise RequestError("router_rounds must be a non-negative integer")
+        maze_limit = payload.get("maze_expansion_limit", 0)
+        if not isinstance(maze_limit, int) or isinstance(maze_limit, bool) \
+                or maze_limit < 0:
+            raise RequestError(
+                "maze_expansion_limit must be a non-negative integer"
+            )
         return cls(
             benchmark=benchmark,
             scale=scale,
@@ -126,17 +141,25 @@ class AssignRequest:
             exec_backend=exec_backend,
             deadline_ms=deadline_ms,
             return_assignment=return_assignment,
+            router_rounds=router_rounds,
+            maze_expansion_limit=maze_limit,
         )
 
-    def signature(self) -> Tuple[str, float, float, str, int, str]:
+    def signature(self) -> Tuple[str, float, float, str, int, str, int, int]:
         return (
             self.benchmark, self.scale, self.ratio_percent,
             self.method, self.workers, self.exec_backend,
+            self.router_rounds, self.maze_expansion_limit,
         )
 
     def signature_key(self) -> str:
-        b, s, r, m, w, x = self.signature()
-        return f"{b}|scale={s:g}|ratio={r:g}|{m}|workers={w}|exec={x}"
+        b, s, r, m, w, x, rr, mel = self.signature()
+        key = f"{b}|scale={s:g}|ratio={r:g}|{m}|workers={w}|exec={x}"
+        if rr:
+            key += f"|router_rounds={rr}"
+        if mel:
+            key += f"|maze_limit={mel}"
+        return key
 
     def to_json(self) -> Dict[str, Any]:
         body: Dict[str, Any] = {
@@ -153,6 +176,10 @@ class AssignRequest:
             body["deadline_ms"] = self.deadline_ms
         if self.return_assignment:
             body["return_assignment"] = True
+        if self.router_rounds:
+            body["router_rounds"] = self.router_rounds
+        if self.maze_expansion_limit:
+            body["maze_expansion_limit"] = self.maze_expansion_limit
         return body
 
 
@@ -229,6 +256,9 @@ def build_response(
             k: round(v, 6) for k, v in sorted(report.clock.totals.items())
         },
     }
+    router = getattr(report, "router", None)
+    if router:
+        body["router"] = router
     if assignment is not None:
         body["assignment"] = assignment
     if serving is not None:

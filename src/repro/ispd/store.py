@@ -1,0 +1,252 @@
+"""Structured-array net storage — the scale tier's ingest backbone.
+
+The real ISPD'08 instances carry 0.2M–2.6M nets; materializing a Python
+object per pin while parsing them is what kept the suite at toy scale.
+:class:`NetStore` keeps the whole net population in three numpy structured
+arrays instead:
+
+- ``net_table`` — one row per net: ``id``, ``pin_start``, ``pin_count``
+  (pins of net *i* are ``pin_table[pin_start[i] : pin_start[i]+pin_count[i]]``);
+- ``pin_table`` — one row per pin: tile ``x``/``y``, ``layer``, ``cap``;
+- ``names`` — the net names (Python strings are unavoidable, but one short
+  string per net is cheap next to per-pin objects).
+
+:class:`~repro.route.net.Net` objects built from a store (see
+:meth:`NetStore.materialize`) are thin views: they answer ``pin_tiles``,
+``num_pins`` and ``hpwl()`` straight from the arrays and only materialize
+:class:`~repro.route.net.Pin` objects when a consumer (topology build, the
+Elmore engine) genuinely asks for them.  Whole-population queries —
+``hpwl_array`` for the router's net ordering — are vectorized.
+
+Builders accumulate rows in plain Python lists and convert chunk-wise, so
+the streaming parser never holds more than one chunk of tokenized text.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (net.py imports us)
+    from repro.route.net import Net
+
+PIN_DTYPE = np.dtype(
+    [
+        ("x", np.int32),
+        ("y", np.int32),
+        ("layer", np.int16),
+        ("cap", np.float64),
+    ]
+)
+
+NET_DTYPE = np.dtype(
+    [
+        ("id", np.int64),
+        ("pin_start", np.int64),
+        ("pin_count", np.int32),
+    ]
+)
+
+
+class NetStore:
+    """Immutable structured-array storage for a benchmark's net population."""
+
+    __slots__ = ("net_table", "pin_table", "names")
+
+    def __init__(
+        self, net_table: np.ndarray, pin_table: np.ndarray, names: List[str]
+    ) -> None:
+        if net_table.dtype != NET_DTYPE:
+            net_table = net_table.astype(NET_DTYPE)
+        if pin_table.dtype != PIN_DTYPE:
+            pin_table = pin_table.astype(PIN_DTYPE)
+        if len(names) != len(net_table):
+            raise ValueError(
+                f"{len(names)} names for {len(net_table)} net rows"
+            )
+        self.net_table = net_table
+        self.pin_table = pin_table
+        self.names = names
+
+    # -- population queries -------------------------------------------------
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.net_table)
+
+    @property
+    def num_pins(self) -> int:
+        return len(self.pin_table)
+
+    def pin_slice(self, row: int) -> np.ndarray:
+        """The pin rows of net ``row`` (a view, not a copy)."""
+        start = int(self.net_table["pin_start"][row])
+        count = int(self.net_table["pin_count"][row])
+        return self.pin_table[start : start + count]
+
+    def pin_tiles(self, row: int) -> List[Tuple[int, int]]:
+        """Pin tiles of one net as plain ``(x, y)`` tuples."""
+        pins = self.pin_slice(row)
+        return list(zip(pins["x"].tolist(), pins["y"].tolist()))
+
+    def all_pin_tiles(self) -> List[List[Tuple[int, int]]]:
+        """Per-net pin tiles for the whole population, row order.
+
+        Equivalent to ``[store.pin_tiles(r) for r in range(num_nets)]`` but
+        converts the pin table to python scalars in one pass instead of two
+        numpy slice calls per net.
+        """
+        tiles = list(
+            zip(self.pin_table["x"].tolist(), self.pin_table["y"].tolist())
+        )
+        starts = self.net_table["pin_start"].tolist()
+        counts = self.net_table["pin_count"].tolist()
+        return [tiles[s : s + c] for s, c in zip(starts, counts)]
+
+    def hpwl_array(self) -> np.ndarray:
+        """Half-perimeter wirelength of every net, vectorized.
+
+        One ``np.maximum.reduceat``/``np.minimum.reduceat`` sweep over the
+        pin table — the router orders tens of thousands of nets by this.
+        """
+        n = self.num_nets
+        out = np.zeros(n, dtype=np.int64)
+        if n == 0 or self.num_pins == 0:
+            return out
+        counts = self.net_table["pin_count"]
+        nonempty = counts > 0
+        starts = self.net_table["pin_start"][nonempty]
+        xs = self.pin_table["x"]
+        ys = self.pin_table["y"]
+        spans = (
+            np.maximum.reduceat(xs, starts)
+            - np.minimum.reduceat(xs, starts)
+            + np.maximum.reduceat(ys, starts)
+            - np.minimum.reduceat(ys, starts)
+        )
+        out[nonempty] = spans
+        return out
+
+    # -- materialization -----------------------------------------------------
+
+    def materialize_pins(self, row: int) -> List["Pin"]:  # noqa: F821
+        """Build the :class:`Pin` objects of one net (called lazily)."""
+        from repro.route.net import Pin
+
+        pins = self.pin_slice(row)
+        return [
+            Pin(int(x), int(y), int(layer), float(cap))
+            for x, y, layer, cap in zip(
+                pins["x"].tolist(),
+                pins["y"].tolist(),
+                pins["layer"].tolist(),
+                pins["cap"].tolist(),
+            )
+        ]
+
+    def materialize(self) -> List["Net"]:
+        """One array-backed :class:`Net` view per store row."""
+        from repro.route.net import Net
+
+        ids = self.net_table["id"].tolist()
+        return [
+            Net(id=net_id, name=name, store=self, row=row)
+            for row, (net_id, name) in enumerate(zip(ids, self.names))
+        ]
+
+
+class NetStoreBuilder:
+    """Chunk-wise accumulator the parser and generator fill.
+
+    Rows are buffered in Python lists and flushed into numpy chunks every
+    ``chunk_pins`` pins, so peak overhead is one chunk of boxed values
+    regardless of instance size.
+    """
+
+    def __init__(self, chunk_pins: int = 65536) -> None:
+        if chunk_pins < 1:
+            raise ValueError("chunk_pins must be >= 1")
+        self.chunk_pins = chunk_pins
+        self.names: List[str] = []
+        self._ids: List[int] = []
+        self._counts: List[int] = []
+        self._pin_chunks: List[np.ndarray] = []
+        self._buf_x: List[int] = []
+        self._buf_y: List[int] = []
+        self._buf_layer: List[int] = []
+        self._buf_cap: List[float] = []
+
+    def add_net(self, net_id: int, name: str, pin_count: int) -> None:
+        self._ids.append(net_id)
+        self.names.append(name)
+        self._counts.append(pin_count)
+
+    def add_pin(self, x: int, y: int, layer: int, cap: float) -> None:
+        self._buf_x.append(x)
+        self._buf_y.append(y)
+        self._buf_layer.append(layer)
+        self._buf_cap.append(cap)
+        if len(self._buf_x) >= self.chunk_pins:
+            self._flush()
+
+    def add_pin_block(
+        self,
+        xs: Iterable[int],
+        ys: Iterable[int],
+        layers: Iterable[int],
+        caps: Iterable[float],
+    ) -> None:
+        """Append many pins at once (already-vectorized callers)."""
+        self._flush()
+        chunk = np.empty(len(xs), dtype=PIN_DTYPE)  # type: ignore[arg-type]
+        chunk["x"] = xs
+        chunk["y"] = ys
+        chunk["layer"] = layers
+        chunk["cap"] = caps
+        self._pin_chunks.append(chunk)
+
+    def _flush(self) -> None:
+        if not self._buf_x:
+            return
+        chunk = np.empty(len(self._buf_x), dtype=PIN_DTYPE)
+        chunk["x"] = self._buf_x
+        chunk["y"] = self._buf_y
+        chunk["layer"] = self._buf_layer
+        chunk["cap"] = self._buf_cap
+        self._pin_chunks.append(chunk)
+        self._buf_x.clear()
+        self._buf_y.clear()
+        self._buf_layer.clear()
+        self._buf_cap.clear()
+
+    def build(self) -> NetStore:
+        self._flush()
+        if self._pin_chunks:
+            pin_table = np.concatenate(self._pin_chunks)
+        else:
+            pin_table = np.empty(0, dtype=PIN_DTYPE)
+        counts = np.asarray(self._counts, dtype=np.int32)
+        if counts.sum() != len(pin_table):
+            raise ValueError(
+                f"net pin counts sum to {int(counts.sum())} but "
+                f"{len(pin_table)} pins were added"
+            )
+        net_table = np.empty(len(self._ids), dtype=NET_DTYPE)
+        net_table["id"] = self._ids
+        net_table["pin_count"] = counts
+        starts = np.zeros(len(counts), dtype=np.int64)
+        if len(counts):
+            np.cumsum(counts[:-1], out=starts[1:])
+        net_table["pin_start"] = starts
+        return NetStore(net_table, pin_table, list(self.names))
+
+
+def store_from_nets(nets: Sequence["Net"]) -> NetStore:  # noqa: F821
+    """Build a store from materialized Net objects (tests, adapters)."""
+    builder = NetStoreBuilder()
+    for net in nets:
+        builder.add_net(net.id, net.name, net.num_pins)
+        for pin in net.pins:
+            builder.add_pin(pin.x, pin.y, pin.layer, pin.capacitance)
+    return builder.build()

@@ -21,12 +21,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
+
+import numpy as np
 
 from repro.grid.graph import GridGraph
 from repro.grid.layers import Direction, Layer, LayerStack, alternating_directions
 from repro.ispd.benchmark import Benchmark
-from repro.route.net import Net, Pin
+from repro.ispd.store import NetStore, NetStoreBuilder
 from repro.timing.rc import RCProfile, industrial_rc
 from repro.utils import make_rng
 
@@ -62,10 +64,12 @@ class SyntheticSpec:
 def generate(spec: SyntheticSpec) -> Benchmark:
     """Generate the :class:`Benchmark` described by ``spec``."""
     rng = make_rng(spec.seed, "synthetic", spec.name)
-    nets = _generate_nets(spec, rng)
-    stack = _build_stack(spec, nets)
+    store = _generate_store(spec, rng)
+    stack = _build_stack(spec, store)
     grid = GridGraph(spec.nx, spec.ny, stack)
-    bench = Benchmark(name=spec.name, grid=grid, nets=nets)
+    bench = Benchmark(
+        name=spec.name, grid=grid, nets=store.materialize(), store=store
+    )
     _apply_adjustments(spec, bench, rng)
     return bench
 
@@ -77,15 +81,22 @@ def _clip(v: int, lo: int, hi: int) -> int:
     return max(lo, min(hi, v))
 
 
-def _generate_nets(spec: SyntheticSpec, rng) -> List[Net]:
-    nets: List[Net] = []
+def _generate_store(spec: SyntheticSpec, rng) -> NetStore:
+    """Fill a :class:`NetStore` with the synthetic net population.
+
+    The rng draw sequence is load-bearing: every checked-in baseline digest
+    derives from these exact instances, so draws here must stay one-to-one
+    with the historical per-Pin generator (one ``uniform`` per pin, in the
+    same order relative to the geometry draws).
+    """
+    builder = NetStoreBuilder()
     num_critical = max(3, int(round(spec.critical_fraction * spec.num_nets)))
     num_critical = min(num_critical, spec.num_nets)
     cap_lo, cap_hi = spec.pin_cap_range
 
-    def pin(x: int, y: int) -> Pin:
+    def pin(x: int, y: int) -> None:
         cap = float(rng.uniform(cap_lo, cap_hi))
-        return Pin(_clip(x, 0, spec.nx - 1), _clip(y, 0, spec.ny - 1), 1, cap)
+        builder.add_pin(_clip(x, 0, spec.nx - 1), _clip(y, 0, spec.ny - 1), 1, cap)
 
     # Long, high-fanout nets first: these are the timing-critical population.
     for i in range(num_critical):
@@ -94,12 +105,12 @@ def _generate_nets(spec: SyntheticSpec, rng) -> List[Net]:
         span_y = int(spec.ny * rng.uniform(0.45, 0.9))
         x0 = int(rng.integers(0, max(spec.nx - span_x, 1)))
         y0 = int(rng.integers(0, max(spec.ny - span_y, 1)))
-        pins = [pin(x0, y0)]
+        builder.add_net(i, f"crit{i}", fanout + 1)
+        pin(x0, y0)
         for _ in range(fanout):
             px = x0 + int(rng.integers(0, span_x + 1))
             py = y0 + int(rng.integers(0, span_y + 1))
-            pins.append(pin(px, py))
-        nets.append(Net(id=i, name=f"crit{i}", pins=pins))
+            pin(px, py)
 
     # Background nets: local clusters with small fanout.
     for i in range(num_critical, spec.num_nets):
@@ -113,31 +124,37 @@ def _generate_nets(spec: SyntheticSpec, rng) -> List[Net]:
         cx = int(rng.integers(0, spec.nx))
         cy = int(rng.integers(0, spec.ny))
         spread = max(2, int(rng.exponential(scale=max(spec.nx, spec.ny) / 10.0)))
-        pins = [pin(cx, cy)]
+        builder.add_net(i, f"net{i}", fanout + 1)
+        pin(cx, cy)
         for _ in range(fanout):
             px = cx + int(rng.integers(-spread, spread + 1))
             py = cy + int(rng.integers(-spread, spread + 1))
-            pins.append(pin(px, py))
-        nets.append(Net(id=i, name=f"net{i}", pins=pins))
-    return nets
+            pin(px, py)
+    return builder.build()
 
 
 # -- capacity sizing ------------------------------------------------------------
 
 
-def _build_stack(spec: SyntheticSpec, nets: List[Net]) -> LayerStack:
+def _build_stack(spec: SyntheticSpec, store: NetStore) -> LayerStack:
     profile = spec.rc or industrial_rc(spec.num_layers)
     directions = alternating_directions(spec.num_layers)
 
     # Directional demand estimated from pin bounding boxes (the lower bound
-    # any router must spend).
-    demand_x = 0
-    demand_y = 0
-    for net in nets:
-        xs = [p.x for p in net.pins]
-        ys = [p.y for p in net.pins]
-        demand_x += max(xs) - min(xs)
-        demand_y += max(ys) - min(ys)
+    # any router must spend) — one reduceat sweep over the pin table.
+    counts = store.net_table["pin_count"]
+    starts = store.net_table["pin_start"][counts > 0]
+    xs = store.pin_table["x"]
+    ys = store.pin_table["y"]
+    if len(starts):
+        demand_x = int(
+            (np.maximum.reduceat(xs, starts) - np.minimum.reduceat(xs, starts)).sum()
+        )
+        demand_y = int(
+            (np.maximum.reduceat(ys, starts) - np.minimum.reduceat(ys, starts)).sum()
+        )
+    else:
+        demand_x = demand_y = 0
 
     edges_h = max((spec.nx - 1) * spec.ny, 1)
     edges_v = max(spec.nx * (spec.ny - 1), 1)

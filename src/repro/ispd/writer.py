@@ -51,12 +51,15 @@ def write_ispd08(bench: Benchmark, target: Union[str, TextIO, None] = None) -> s
     buf.write(f"{_fmt(llx)} {_fmt(lly)} {_fmt(stack.tile_width)} {_fmt(stack.tile_height)}\n")
 
     buf.write(f"num net {len(bench.nets)}\n")
-    for net in bench.nets:
-        buf.write(f"{net.name} {net.id} {len(net.pins)}\n")
-        for pin in net.pins:
-            px = llx + (pin.x + 0.5) * stack.tile_width
-            py = lly + (pin.y + 0.5) * stack.tile_height
-            buf.write(f"{_fmt(px)} {_fmt(py)} {pin.layer}\n")
+    if bench.store is not None:
+        _write_nets_from_store(buf, bench, llx, lly)
+    else:
+        for net in bench.nets:
+            buf.write(f"{net.name} {net.id} {len(net.pins)}\n")
+            for pin in net.pins:
+                px = llx + (pin.x + 0.5) * stack.tile_width
+                py = lly + (pin.y + 0.5) * stack.tile_height
+                buf.write(f"{_fmt(px)} {_fmt(py)} {pin.layer}\n")
 
     buf.write(f"{len(bench.adjustments)}\n")
     for (edge, layer), tracks in sorted(bench.adjustments.items()):
@@ -75,6 +78,38 @@ def write_ispd08(bench: Benchmark, target: Union[str, TextIO, None] = None) -> s
     elif target is not None:
         target.write(text)
     return text
+
+
+def _write_nets_from_store(buf: TextIO, bench: Benchmark, llx: float, lly: float) -> None:
+    """Bulk-format the net section from the structured arrays.
+
+    Byte-identical to the per-Pin path, but never materializes a Pin: the
+    tile-centre coordinates are computed vectorized and formatted through
+    the same ``_fmt`` convention.
+    """
+    import numpy as np
+
+    store = bench.store
+    stack = bench.stack
+    pt = store.pin_table
+    px = llx + (pt["x"].astype(np.float64) + 0.5) * stack.tile_width
+    py = lly + (pt["y"].astype(np.float64) + 0.5) * stack.tile_height
+    if np.all(px == np.floor(px)) and np.all(py == np.floor(py)):
+        xs = [str(v) for v in px.astype(np.int64).tolist()]
+        ys = [str(v) for v in py.astype(np.int64).tolist()]
+    else:
+        xs = [_fmt(v) for v in px.tolist()]
+        ys = [_fmt(v) for v in py.tolist()]
+    layers = pt["layer"].tolist()
+    ids = store.net_table["id"].tolist()
+    starts = store.net_table["pin_start"].tolist()
+    counts = store.net_table["pin_count"].tolist()
+    pieces = []
+    for name, net_id, start, count in zip(store.names, ids, starts, counts):
+        pieces.append(f"{name} {net_id} {count}\n")
+        for j in range(start, start + count):
+            pieces.append(f"{xs[j]} {ys[j]} {layers[j]}\n")
+    buf.write("".join(pieces))
 
 
 def _fmt(value: float) -> str:

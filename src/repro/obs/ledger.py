@@ -105,6 +105,9 @@ def build_entry(
     scheduler = getattr(report, "scheduler", None)
     if scheduler:
         entry["scheduler"] = scheduler
+    router = getattr(report, "router", None)
+    if router:
+        entry["router"] = router
     if label:
         entry["label"] = label
     return entry
@@ -242,6 +245,16 @@ def render_entry(entry: Dict[str, Any]) -> str:
             f"worker restarts {scheduler.get('worker_restarts', 0)}",
             f"  worker utilization (last map): {util_text}",
         ])
+    router = entry.get("router")
+    if router:
+        lines.extend([
+            "router:",
+            f"  nets routed {router.get('nets_routed', 0)}  "
+            f"rerouted {router.get('nets_rerouted', 0)}  "
+            f"reroute rounds {router.get('reroute_rounds', 0)}",
+            f"  maze aborts {router.get('maze_aborts', 0)}  "
+            f"final 2-D overflow {router.get('final_overflow', 0)}",
+        ])
     serving = entry.get("serving")
     if serving:
         lat = serving.get("latency_ms", {})
@@ -284,6 +297,11 @@ _DIFF_FIELDS = (
     ("batch bucket solves", ("scheduler", "bucket_solves")),
     ("batch lockstep iters", ("scheduler", "batched_iterations")),
     ("batch frozen fraction", ("scheduler", "frozen_fraction")),
+    # Router observability (filled by pipeline.prepare): regressions here
+    # mean the 2-D routing phase itself got worse, not the optimizer.
+    ("router maze aborts", ("router", "maze_aborts")),
+    ("router reroute rounds", ("router", "reroute_rounds")),
+    ("router final overflow", ("router", "final_overflow")),
     # Serving entries (``repro bench-serve``): absent from solve runs, and
     # _lookup simply skips missing paths.
     ("serve p50 latency ms", ("serving", "latency_ms", "p50")),
@@ -349,6 +367,10 @@ class CheckThresholds:
     # warm state is actually being reused.
     serve_p95_latency: Optional[float] = None
     min_warm_speedup: Optional[float] = None
+    # Absolute increase limit on final via overflow (None = not gated).
+    # Gated absolutely because healthy runs sit at exactly 0, where a
+    # relative threshold can never fire.
+    via_overflow_increase: Optional[float] = None
 
 
 def check_entries(
@@ -404,6 +426,19 @@ def check_entries(
                 f"serving warm speedup {speedup:.2f}x is below the "
                 f"{thr.min_warm_speedup:.2f}x floor (resident warm state "
                 "not being reused?)"
+            )
+
+    if thr.via_overflow_increase is not None:
+        base_v = _lookup(baseline, ("quality", "final_via_overflow"))
+        cur_v = _lookup(current, ("quality", "final_via_overflow"))
+        if (
+            base_v is not None
+            and cur_v is not None
+            and cur_v - base_v > thr.via_overflow_increase
+        ):
+            violations.append(
+                f"final via overflow rose {base_v:g} -> {cur_v:g} "
+                f"(limit +{thr.via_overflow_increase:g})"
             )
 
     if thr.nonconverged_fraction is not None:

@@ -46,6 +46,7 @@ def prepare(
     with tracer.span("pipeline.prepare", benchmark=bench.name, nets=len(bench.nets)):
         router = GlobalRouter(bench.grid, router_config)
         router.route(bench.nets)
+        bench.router_stats = router.stats.as_dict()
         with tracer.span("pipeline.build_topology"):
             for net in bench.nets:
                 build_topology(net)

@@ -8,11 +8,14 @@ the paper).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.grid.graph import Edge2D, Tile
 from repro.grid.layers import Direction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (store imports Pin lazily)
+    from repro.ispd.store import NetStore
 
 
 @dataclass(frozen=True)
@@ -96,31 +99,87 @@ class Segment:
         raise ValueError(f"{tile} is not an endpoint of segment {self.id}")
 
 
-@dataclass
 class Net:
-    """A net: a named collection of pins plus (after routing) a topology."""
+    """A net: a named collection of pins plus (after routing) a topology.
 
-    id: int
-    name: str
-    pins: List[Pin] = field(default_factory=list)
-    # Filled by the router / topology builder:
-    route_edges: List[Edge2D] = field(default_factory=list)
-    topology: Optional["NetTopology"] = None  # type: ignore[name-defined]  # noqa: F821
+    Two construction modes:
+
+    - **materialized** — ``Net(id, name, pins=[Pin(...), ...])``, the
+      historical form every test and adapter uses;
+    - **store-backed** — ``Net(id, name, store=store, row=i)``: pins live in
+      the :class:`~repro.ispd.store.NetStore` structured arrays and the
+      :class:`Pin` objects are only built on first ``.pins`` access.  The
+      router-facing queries (``pin_tiles``, ``num_pins``, ``hpwl``) answer
+      straight from the arrays, so routing an un-materialized population
+      never boxes a pin.
+    """
+
+    __slots__ = ("id", "name", "route_edges", "topology", "_pins", "_store", "_row")
+
+    def __init__(
+        self,
+        id: int,
+        name: str,
+        pins: Optional[Sequence[Pin]] = None,
+        route_edges: Optional[List[Edge2D]] = None,
+        topology: Optional["NetTopology"] = None,  # type: ignore[name-defined]  # noqa: F821
+        *,
+        store: Optional["NetStore"] = None,
+        row: Optional[int] = None,
+    ) -> None:
+        self.id = id
+        self.name = name
+        if store is not None and row is None:
+            raise ValueError("store-backed nets need a row index")
+        self._store = store
+        self._row = row
+        if pins is not None:
+            self._pins: Optional[List[Pin]] = list(pins)
+        elif store is not None:
+            self._pins = None  # lazily materialized from the store
+        else:
+            self._pins = []
+        # Filled by the router / topology builder:
+        self.route_edges: List[Edge2D] = route_edges if route_edges is not None else []
+        self.topology = topology
+
+    def __repr__(self) -> str:
+        return f"Net(id={self.id}, name={self.name!r}, pins={self.num_pins})"
+
+    @property
+    def pins(self) -> List[Pin]:
+        if self._pins is None:
+            self._pins = self._store.materialize_pins(self._row)
+        return self._pins
 
     @property
     def num_pins(self) -> int:
-        return len(self.pins)
+        if self._pins is None:
+            return int(self._store.net_table["pin_count"][self._row])
+        return len(self._pins)
 
     @property
     def pin_tiles(self) -> List[Tile]:
-        return [p.tile for p in self.pins]
+        if self._pins is None:
+            return self._store.pin_tiles(self._row)
+        return [p.tile for p in self._pins]
 
     @property
     def source(self) -> Pin:
         """By ISPD convention the first pin drives the net."""
-        if not self.pins:
+        if self.num_pins == 0:
             raise ValueError(f"net {self.name} has no pins")
         return self.pins[0]
+
+    @property
+    def source_tile(self) -> Tile:
+        """The source pin's tile, without materializing store-backed pins."""
+        if self._pins is None:
+            pins = self._store.pin_slice(self._row)
+            if not len(pins):
+                raise ValueError(f"net {self.name} has no pins")
+            return (int(pins["x"][0]), int(pins["y"][0]))
+        return self.source.tile
 
     @property
     def sinks(self) -> List[Pin]:
@@ -128,13 +187,19 @@ class Net:
 
     def hpwl(self) -> int:
         """Half-perimeter wirelength of the pin bounding box, in G-cells."""
-        xs = [p.x for p in self.pins]
-        ys = [p.y for p in self.pins]
-        if not xs:
+        if self._pins is None:
+            pins = self._store.pin_slice(self._row)
+            if not len(pins):
+                return 0
+            xs = pins["x"]
+            ys = pins["y"]
+            return int(xs.max()) - int(xs.min()) + int(ys.max()) - int(ys.min())
+        if not self._pins:
             return 0
+        xs = [p.x for p in self._pins]
+        ys = [p.y for p in self._pins]
         return (max(xs) - min(xs)) + (max(ys) - min(ys))
 
     def is_local(self) -> bool:
         """True when every pin shares one tile (no routing needed)."""
-        tiles = {p.tile for p in self.pins}
-        return len(tiles) <= 1
+        return len(set(self.pin_tiles)) <= 1

@@ -7,15 +7,32 @@ the classic laptop-scale stand-in for FLUTE-quality trees.
 
 The output is a list of abstract connections ``(tile_a, tile_b)``; the
 router (:mod:`repro.route.router`) chooses the actual L/Z/maze embedding.
+
+Performance structure
+---------------------
+All MSTs run through one lockstep Prim (:func:`_lockstep_prim`) over a
+``(rows, M, M)`` distance tensor: every Hanan candidate of a refinement round
+is one row, and :func:`warm_steiner_cache` goes further by packing the rows
+of *many nets* with the same point count into a single tensor, so a whole
+suite's refinement costs a few hundred numpy calls instead of one Prim per
+net.  Candidate pruning (Steiner points of tree degree < 3 are useless) is
+resolved closed-form from the recorded Prim parents wherever the prune
+cannot cascade; only genuinely cascading cases replay the scalar graph
+surgery.  Tie-breaks replicate the historical scalar Prim exactly (start
+node 0, first minimum wins), so every path produces bit-identical trees.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.grid.graph import Tile
 
 Connection = Tuple[Tile, Tile]
+
+_BIG = np.int64(np.iinfo(np.int64).max)
 
 
 def manhattan(a: Tile, b: Tile) -> int:
@@ -26,31 +43,35 @@ def mst_connections(tiles: Sequence[Tile]) -> List[Connection]:
     """Prim's MST over tiles under Manhattan distance, O(n^2).
 
     Returns one connection per MST edge; an empty list for <2 tiles.
+    The distance matrix is integral and ties break on the lowest point
+    index (``np.argmin`` keeps the first minimum), reproducing the
+    historical scalar Prim bit for bit.
     """
     points = list(dict.fromkeys(tiles))  # dedupe, keep order
     n = len(points)
     if n < 2:
         return []
-    in_tree = [False] * n
-    best_dist = [manhattan(points[0], p) for p in points]
-    best_from = [0] * n
+    if n == 2:
+        return [(points[0], points[1])]
+    pts = np.asarray(points, dtype=np.int64)
+    dmat = np.abs(pts[:, None, 0] - pts[None, :, 0]) + np.abs(
+        pts[:, None, 1] - pts[None, :, 1]
+    )
+    in_tree = np.zeros(n, dtype=bool)
+    best_dist = dmat[0].copy()
+    best_from = np.zeros(n, dtype=np.int64)
     in_tree[0] = True
-    best_dist[0] = 0
     connections: List[Connection] = []
     for _ in range(n - 1):
-        # pick the nearest out-of-tree point
-        k = min(
-            (i for i in range(n) if not in_tree[i]),
-            key=lambda i: (best_dist[i], i),
-        )
+        # Nearest out-of-tree point; first minimum wins, like the scalar
+        # min(..., key=(dist, index)) tie-break did.
+        masked = np.where(in_tree, _BIG, best_dist)
+        k = int(np.argmin(masked))
         in_tree[k] = True
-        connections.append((points[best_from[k]], points[k]))
-        for i in range(n):
-            if not in_tree[i]:
-                d = manhattan(points[k], points[i])
-                if d < best_dist[i]:
-                    best_dist[i] = d
-                    best_from[i] = k
+        connections.append((points[int(best_from[k])], points[k]))
+        improved = (~in_tree) & (dmat[k] < best_dist)
+        best_dist[improved] = dmat[k][improved]
+        best_from[improved] = k
     return connections
 
 
@@ -65,6 +86,20 @@ def _hanan_candidates(points: Sequence[Tile]) -> Set[Tile]:
     return {(x, y) for x in xs for y in ys if (x, y) not in existing}
 
 
+_STEINER_CACHE: Dict[tuple, List[Connection]] = {}
+_STEINER_CACHE_MAX = 250_000
+
+# Soft cap on distance-tensor elements per lockstep chunk (int64), keeping
+# bulk warming inside a few dozen MB regardless of suite size.
+_CHUNK_ELEMS = 2_000_000
+
+
+def _cache_put(key: tuple, value: List[Connection]) -> None:
+    if len(_STEINER_CACHE) >= _STEINER_CACHE_MAX:
+        _STEINER_CACHE.clear()
+    _STEINER_CACHE[key] = value
+
+
 def steiner_tree_edges(
     tiles: Sequence[Tile],
     refine: bool = True,
@@ -77,10 +112,182 @@ def steiner_tree_edges(
     Hanan-grid Steiner points while each insertion strictly reduces the MST
     cost (iterated 1-Steiner).  Steiner points that end up with tree degree
     below 3 are discarded — they would not save wirelength.
+
+    Results are memoized under translation: Manhattan distances, Hanan
+    candidates and all tie-breaks are invariant when every point shifts by
+    the same offset, so topologies are cached with the point set translated
+    to the origin.  Synthetic and real instances alike repeat small pin
+    shapes constantly (every 2-pin net with the same bounding box shares
+    one entry), making this the dominant steiner speedup.
     """
     points = list(dict.fromkeys(tiles))
     if len(points) < 2:
         return []
+    if len(points) == 2:
+        # A Steiner point can never beat the direct connection of two pins.
+        return [(points[0], points[1])]
+
+    off_x = min(p[0] for p in points)
+    off_y = min(p[1] for p in points)
+    canon = tuple((p[0] - off_x, p[1] - off_y) for p in points)
+    key = (canon, refine, max_refine_points, max_rounds)
+    cached = _STEINER_CACHE.get(key)
+    if cached is None:
+        cached = _steiner_uncached(list(canon), refine, max_refine_points, max_rounds)
+        _cache_put(key, cached)
+    return [
+        ((a[0] + off_x, a[1] + off_y), (b[0] + off_x, b[1] + off_y))
+        for a, b in cached
+    ]
+
+
+def warm_steiner_cache(
+    point_sets: Iterable[Sequence[Tile]],
+    refine: bool = True,
+    max_refine_points: int = 12,
+    max_rounds: int = 3,
+) -> int:
+    """Precompute Steiner topologies for many nets in bulk waves.
+
+    Collects every canonical point set missing from the cache, runs all
+    initial MSTs through one lockstep Prim per point count, then advances
+    the whole population one refinement round per wave — each wave scoring
+    the Hanan candidates of every still-active set in shared tensors.  The
+    per-set accept decisions replay :func:`_steiner_uncached` exactly, so a
+    later :func:`steiner_tree_edges` call returns bit-identical topologies;
+    this function only front-loads the cache fills.  Returns the number of
+    entries added.
+    """
+    states: List[_WarmState] = []
+    seen: Set[tuple] = set()
+    for tiles in point_sets:
+        points = list(dict.fromkeys(tiles))
+        if len(points) < 3:
+            continue
+        off_x = min(p[0] for p in points)
+        off_y = min(p[1] for p in points)
+        canon = tuple((p[0] - off_x, p[1] - off_y) for p in points)
+        key = (canon, refine, max_refine_points, max_rounds)
+        if key in _STEINER_CACHE or key in seen:
+            continue
+        seen.add(key)
+        states.append(_WarmState(key, list(canon)))
+    if not states:
+        return 0
+
+    # Wave 0: all initial MSTs, one lockstep Prim per distinct point count.
+    by_n: Dict[int, List[_WarmState]] = {}
+    for st in states:
+        by_n.setdefault(len(st.points), []).append(st)
+    for group in by_n.values():
+        pts = np.asarray([st.points for st in group], dtype=np.int64)
+        dmat = np.abs(pts[:, :, None, 0] - pts[:, None, :, 0]) + np.abs(
+            pts[:, :, None, 1] - pts[:, None, :, 1]
+        )
+        raw, parents, selection = _lockstep_prim(dmat)
+        for i, st in enumerate(group):
+            st.best = _rebuild_edges(st.points, parents[i], selection[i])
+            st.best_cost = int(raw[i])
+
+    active: List[_WarmState] = []
+    for st in states:
+        if refine and len(st.points) <= max_refine_points:
+            active.append(st)
+        else:
+            _cache_put(st.key, st.best)
+
+    for _wave in range(max_rounds):
+        if not active:
+            break
+        by_m: Dict[int, List[_WarmState]] = {}
+        for st in active:
+            base = st.points + st.chosen
+            candidates = sorted(_hanan_candidates(base))
+            if not candidates:
+                _cache_put(st.key, st.best)
+                continue
+            st.base = base
+            st.candidates = candidates
+            by_m.setdefault(len(base), []).append(st)
+        next_active: List[_WarmState] = []
+        for m, group in by_m.items():
+            _score_wave(group, m)
+            for st in group:
+                scores = st.scores
+                st.scores = None
+                i = _first_improving(scores.costs, st.best_cost)
+                if i is None:
+                    _cache_put(st.key, st.best)
+                    continue
+                st.best = _winner_trial(
+                    st.base, len(st.points), st.candidates, scores, i
+                )
+                st.best_cost = scores.costs[i]
+                st.chosen.append(st.candidates[i])
+                next_active.append(st)
+        active = next_active
+    for st in active:  # ran out of refinement rounds mid-improvement
+        _cache_put(st.key, st.best)
+    return len(states)
+
+
+class _WarmState:
+    """One cache-miss point set moving through the warm waves."""
+
+    __slots__ = ("key", "points", "chosen", "best", "best_cost", "base",
+                 "candidates", "scores")
+
+    def __init__(self, key: tuple, points: List[Tile]) -> None:
+        self.key = key
+        self.points = points
+        self.chosen: List[Tile] = []
+        self.best: List[Connection] = []
+        self.best_cost = 0
+        self.base: Optional[List[Tile]] = None
+        self.candidates: Optional[List[Tile]] = None
+        self.scores: Optional[_Scores] = None
+
+
+def _score_wave(group: List["_WarmState"], m: int) -> None:
+    """Score every state's candidates, packing states into shared tensors."""
+    M = m + 1
+    max_rows = max(1, _CHUNK_ELEMS // (M * M))
+    chunk: List[_WarmState] = []
+    rows = 0
+    for st in group:
+        chunk.append(st)
+        rows += len(st.candidates)
+        if rows >= max_rows:
+            _score_chunk(chunk, m)
+            chunk, rows = [], 0
+    if chunk:
+        _score_chunk(chunk, m)
+
+
+def _score_chunk(chunk: List["_WarmState"], m: int) -> None:
+    M = m + 1
+    counts = [len(st.candidates) for st in chunk]
+    total = sum(counts)
+    pts = np.empty((total, M, 2), dtype=np.int64)
+    entries: List[_Entry] = []
+    r0 = 0
+    for st, c in zip(chunk, counts):
+        pts[r0 : r0 + c, :m, :] = np.asarray(st.base, dtype=np.int64)
+        pts[r0 : r0 + c, m, :] = np.asarray(st.candidates, dtype=np.int64)
+        entries.append((st.base, len(st.points), st.candidates, r0, r0 + c))
+        r0 += c
+    dmat = np.abs(pts[:, :, None, 0] - pts[:, None, :, 0]) + np.abs(
+        pts[:, :, None, 1] - pts[:, None, :, 1]
+    )
+    raw, parents, selection = _lockstep_prim(dmat)
+    scores = _evaluate_entries(entries, m, dmat, raw, parents, selection)
+    for st, sc in zip(chunk, scores):
+        st.scores = sc
+
+
+def _steiner_uncached(
+    points: List[Tile], refine: bool, max_refine_points: int, max_rounds: int
+) -> List[Connection]:
     best = mst_connections(points)
     if not refine or len(points) > max_refine_points:
         return best
@@ -88,21 +295,248 @@ def steiner_tree_edges(
     best_cost = tree_cost(best)
     chosen: List[Tile] = []
     for _ in range(max_rounds):
-        improved = False
-        candidates = _hanan_candidates(points + chosen)
-        for cand in sorted(candidates):
-            trial_points = points + chosen + [cand]
-            trial = mst_connections(trial_points)
-            trial = _prune_low_degree_steiner(trial, set(points))
-            cost = tree_cost(trial)
-            if cost < best_cost:
-                best, best_cost = trial, cost
-                chosen.append(cand)
-                improved = True
-                break
-        if not improved:
+        base = points + chosen
+        candidates = sorted(_hanan_candidates(base))
+        if not candidates:
             break
+        scores = _score_candidates(base, len(points), candidates)
+        i = _first_improving(scores.costs, best_cost)
+        if i is None:
+            break
+        best = _winner_trial(base, len(points), candidates, scores, i)
+        best_cost = scores.costs[i]
+        chosen.append(candidates[i])
     return best
+
+
+class _Scores:
+    """Per-candidate pruned costs plus the Prim state to materialize one."""
+
+    __slots__ = ("costs", "trials", "deg", "parents", "selection")
+
+    def __init__(
+        self,
+        costs: List[int],
+        trials: List[Optional[List[Connection]]],
+        deg: np.ndarray,
+        parents: np.ndarray,
+        selection: np.ndarray,
+    ) -> None:
+        self.costs = costs
+        self.trials = trials
+        self.deg = deg
+        self.parents = parents
+        self.selection = selection
+
+
+def _first_improving(costs: List[int], best_cost: int) -> Optional[int]:
+    for i, cost in enumerate(costs):
+        if cost < best_cost:
+            return i
+    return None
+
+
+def _score_candidates(
+    base: List[Tile], num_pins: int, candidates: List[Tile]
+) -> "_Scores":
+    """Pruned trial-tree cost of appending each candidate, all at once."""
+    m = len(base)
+    M = m + 1
+    num_c = len(candidates)
+    pts = np.empty((num_c, M, 2), dtype=np.int64)
+    pts[:, :m, :] = np.asarray(base, dtype=np.int64)
+    pts[:, m, :] = np.asarray(candidates, dtype=np.int64)
+    dmat = np.abs(pts[:, :, None, 0] - pts[:, None, :, 0]) + np.abs(
+        pts[:, :, None, 1] - pts[:, None, :, 1]
+    )
+    raw, parents, selection = _lockstep_prim(dmat)
+    entries: List[_Entry] = [(base, num_pins, candidates, 0, num_c)]
+    return _evaluate_entries(entries, m, dmat, raw, parents, selection)[0]
+
+
+def _lockstep_prim(
+    dmat: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Prim over each ``(M, M)`` distance matrix of a ``(R, M, M)`` tensor.
+
+    Node 0 seeds every tree and ``argmin`` keeps the first minimum, matching
+    :func:`mst_connections` tie-breaks exactly.  Returns per-row
+    ``(total_cost, parents, selection)``; ``selection`` lists node indices
+    in insertion order, so zipping it with ``parents`` replays the exact
+    edge order the scalar Prim emitted.
+    """
+    R, M, _ = dmat.shape
+    rows = np.arange(R)
+    in_tree = np.zeros((R, M), dtype=bool)
+    in_tree[:, 0] = True
+    best_dist = dmat[:, 0, :].copy()
+    best_from = np.zeros((R, M), dtype=np.int64)
+    raw_cost = np.zeros(R, dtype=np.int64)
+    parents = np.empty((R, M), dtype=np.int64)
+    parents[:, 0] = -1
+    selection = np.empty((R, M - 1), dtype=np.int64)
+    for step in range(M - 1):
+        masked = np.where(in_tree, _BIG, best_dist)
+        k = masked.argmin(axis=1)  # first minimum == scalar tie-break
+        raw_cost += masked[rows, k]
+        parents[rows, k] = best_from[rows, k]
+        selection[:, step] = k
+        in_tree[rows, k] = True
+        newd = dmat[rows, k, :]
+        improved = (~in_tree) & (newd < best_dist)
+        np.copyto(best_dist, newd, where=improved)
+        np.copyto(best_from, k[:, None], where=improved)
+    return raw_cost, parents, selection
+
+
+def _rebuild_edges(
+    nodes: Sequence[Tile], parents_row: np.ndarray, selection_row: np.ndarray
+) -> List[Connection]:
+    """Edges of one recorded Prim run, in exact insertion order."""
+    edges: List[Connection] = []
+    for j in selection_row.tolist():
+        edges.append((nodes[int(parents_row[j])], nodes[j]))
+    return edges
+
+
+_Entry = Tuple[List[Tile], int, List[Tile], int, int]  # base, num_pins, cands, a, b
+
+
+def _evaluate_entries(
+    entries: List[_Entry],
+    m: int,
+    dmat: np.ndarray,
+    raw_cost: np.ndarray,
+    parents: np.ndarray,
+    selection: np.ndarray,
+) -> List["_Scores"]:
+    """Turn raw lockstep-Prim output into pruned per-candidate costs.
+
+    ``entries`` carve the row tensor into per-net ranges (each net's base is
+    its pin set plus already-chosen Steiner points, pins first); all the
+    degree math runs once over the whole tensor.  A candidate landing at
+    tree degree <= 2 would be pruned, so its cost is adjusted closed-form
+    from the recorded parents: a degree-1 leaf loses its edge, a degree-2
+    point is spliced out.  Only cascading cases — a pre-existing Steiner
+    point dropping to degree <= 2, or a degree-1 candidate hanging off a
+    degree-3 Steiner parent — replay the scalar prune on edges rebuilt in
+    exact Prim insertion order.
+    """
+    num_rows = dmat.shape[0]
+    to_cand = dmat[:, m, :m]
+    cand_parent = parents[:, m]
+    num_pins_row = np.empty(num_rows, dtype=np.int64)
+    for _base, num_pins, _cands, a, b in entries:
+        num_pins_row[a:b] = num_pins
+
+    # Degrees: children count, plus one for the node's own parent edge
+    # (node 0 is the Prim start and has none; pre-chosen Steiner points
+    # have index >= 3, so they always carry the parent edge).
+    deg_cand = (parents[:, :m] == m).sum(axis=1) + 1
+    lo = int(num_pins_row.min())
+    need_full = np.zeros(num_rows, dtype=bool)
+    sdeg: Optional[np.ndarray] = None
+    if lo < m:
+        # Degree of every possibly-Steiner base node, per row.  One at
+        # degree <= 2 means the prune will do real graph surgery — no
+        # closed form for that row.
+        sdeg = np.empty((m - lo, num_rows), dtype=np.int64)
+        for j in range(lo, m):
+            dj = (parents == j).sum(axis=1) + 1
+            sdeg[j - lo] = dj
+            need_full |= (dj <= 2) & (j >= num_pins_row)
+
+    costs = raw_cost.copy()
+    trials: List[Optional[List[Connection]]] = [None] * num_rows
+
+    deg1 = (deg_cand == 1) & ~need_full
+    if sdeg is not None:
+        # Dropping a degree-1 candidate leaf lowers its Steiner parent's
+        # degree; a parent at degree 3 then cascades into full surgery.
+        ps = np.nonzero(deg1 & (cand_parent >= num_pins_row))[0]
+        if ps.size:
+            casc = ps[sdeg[cand_parent[ps] - lo, ps] <= 3]
+            need_full[casc] = True
+            deg1[casc] = False
+    r1 = np.nonzero(deg1)[0]
+    if r1.size:
+        costs[r1] -= to_cand[r1, cand_parent[r1]]
+
+    r2 = np.nonzero((deg_cand == 2) & ~need_full)[0]
+    if r2.size:
+        # The candidate's single child: first (only) node parented to it.
+        child = np.argmax(parents[r2, :m] == m, axis=1)
+        par = cand_parent[r2]
+        costs[r2] += dmat[r2, child, par] - to_cand[r2, child] - to_cand[r2, par]
+
+    full_rows = np.nonzero(need_full)[0].tolist()
+    costs_list = costs.tolist()
+    out: List[_Scores] = []
+    fi = 0
+    for base, num_pins, candidates, a, b in entries:
+        pins: Optional[Set[Tile]] = None
+        while fi < len(full_rows) and full_rows[fi] < b:
+            r = full_rows[fi]
+            if pins is None:
+                pins = set(base[:num_pins])
+            edges = _rebuild_edges(
+                base + [candidates[r - a]], parents[r], selection[r]
+            )
+            pruned = _prune_low_degree_steiner(edges, pins)
+            trials[r] = pruned
+            costs_list[r] = tree_cost(pruned)
+            fi += 1
+        out.append(
+            _Scores(
+                costs_list[a:b],
+                trials[a:b],
+                deg_cand[a:b],
+                parents[a:b],
+                selection[a:b],
+            )
+        )
+    return out
+
+
+def _winner_trial(
+    base: List[Tile],
+    num_pins: int,
+    candidates: List[Tile],
+    scores: "_Scores",
+    i: int,
+) -> List[Connection]:
+    """Materialize the accepted candidate's pruned tree.
+
+    Closed-form rows never ran the scalar prune, but its effect on the edge
+    list is mechanical: a degree-1 candidate's single edge is removed in
+    place; a degree-2 candidate's two edges are removed and the splice
+    appended — exactly what :func:`_prune_low_degree_steiner` does when no
+    cascade is possible (guaranteed here, or the row would have gone the
+    full-surgery path and carried a materialized trial already).
+    """
+    trial = scores.trials[i]
+    if trial is not None:
+        return trial
+    nodes = base + [candidates[i]]
+    edges = _rebuild_edges(nodes, scores.parents[i], scores.selection[i])
+    deg = int(scores.deg[i])
+    if deg >= 3:
+        return edges  # nothing prunable: every Steiner point has degree >= 3
+    m = len(base)
+    sel = scores.selection[i].tolist()
+    prow = scores.parents[i]
+    t_cand = sel.index(m)  # the candidate's own insertion step
+    parent = int(prow[m])
+    if deg == 1:
+        del edges[t_cand]
+        return edges
+    # deg == 2: drop the parent and child edges, splice their far endpoints.
+    child = int(np.nonzero(np.asarray(prow[:m]) == m)[0][0])
+    t_child = sel.index(child)  # always after t_cand: Prim adds parents first
+    edges.append((base[parent], base[child]))
+    for t in sorted((t_cand, t_child), reverse=True):
+        del edges[t]
+    return edges
 
 
 def _prune_low_degree_steiner(

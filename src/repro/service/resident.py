@@ -71,7 +71,21 @@ class ResidentEngine:
         self.runs = 0
         self.created = time.monotonic()
         prepare_fn = prepare_fn or prepare
-        self.bench: Benchmark = prepare_fn(request.benchmark, scale=request.scale)
+        if request.router_rounds or request.maze_expansion_limit:
+            from repro.route.router import RouterConfig
+
+            kwargs = {}
+            if request.router_rounds:
+                kwargs["rounds"] = request.router_rounds
+            if request.maze_expansion_limit:
+                kwargs["maze_expansion_limit"] = request.maze_expansion_limit
+            self.bench: Benchmark = prepare_fn(
+                request.benchmark,
+                scale=request.scale,
+                router_config=RouterConfig(**kwargs),
+            )
+        else:
+            self.bench = prepare_fn(request.benchmark, scale=request.scale)
         self._engine: Optional[CPLAEngine] = None
         if self.method in ("sdp", "ilp"):
             config = CPLAConfig(

@@ -87,6 +87,9 @@ class TILAEngine:
             report = self._run()
         if metrics.is_enabled():
             report.metrics = metrics.registry().as_dict()
+        router_stats = getattr(self.bench, "router_stats", None)
+        if router_stats:
+            report.router = dict(router_stats)
         return report
 
     def _run(self) -> RunReport:
