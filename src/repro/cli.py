@@ -15,6 +15,10 @@ Subcommands mirror the repo's workflow::
     repro bench-serve --benchmark adaptec1 --qps 8 --verify  # load replay
     repro run ... --workers 4 --exec dist      # work-stealing solve fabric
     repro dist-worker --connect host:9123      # join a remote coordinator
+    repro bench-serve ... --trace-out spans.jsonl  # traced campaign
+    repro obs trace show spans.jsonl           # one trace as a waterfall
+    repro obs trace critical spans.jsonl       # where the wall clock went
+    repro obs trace summary spans.jsonl --check  # aggregate + connectivity
 
 Percentages follow the paper: ``--ratio 0.5`` means 0.5% of nets released.
 
@@ -181,6 +185,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="largest per-request benchmark scale admitted")
     p_srv.add_argument("--max-workers", type=int, default=4,
                        help="largest per-request worker count admitted")
+    p_srv.add_argument(
+        "--dist-listen", default=None, metavar="HOST:PORT",
+        help="accept remote dist workers for '--exec dist' requests on "
+             "this address (authkey from REPRO_DIST_AUTHKEY; join with "
+             "'repro dist-worker --connect HOST:PORT')",
+    )
     p_srv.add_argument("-v", "--verbose", action="store_true")
 
     p_bsv = sub.add_parser(
@@ -216,6 +226,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="append the campaign as a run-ledger entry")
     p_bsv.add_argument("--timeout", type=float, default=300.0,
                        help="per-request client timeout in seconds")
+    p_bsv.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="enable tracing for the campaign and export every span "
+             "(client, server, engine, workers) as JSON-lines to PATH; "
+             "inspect with 'repro obs trace show PATH'",
+    )
+    p_bsv.add_argument(
+        "--dist-listen", default=None, metavar="HOST:PORT",
+        help="with --exec dist: the in-process server also accepts remote "
+             "workers on this address (authkey from REPRO_DIST_AUTHKEY)",
+    )
     _add_common(p_bsv)
 
     p_dw = sub.add_parser(
@@ -313,6 +334,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_check.add_argument("-v", "--verbose", action="store_true")
 
+    p_trace = obs_sub.add_parser(
+        "trace",
+        help="analyze exported trace files (show / critical / summary)",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    p_tshow = trace_sub.add_parser(
+        "show", help="waterfall of one trace's span tree"
+    )
+    p_tshow.add_argument("trace_file", help="span file (JSON-lines)")
+    p_tshow.add_argument(
+        "trace_id", nargs="?", default=None,
+        help="trace id (prefix ok); default: the slowest trace in the file",
+    )
+    p_tshow.add_argument("-v", "--verbose", action="store_true")
+
+    p_tcrit = trace_sub.add_parser(
+        "critical",
+        help="critical path of one trace: longest child chain from the "
+             "root, with per-span self-time vs child-time",
+    )
+    p_tcrit.add_argument("trace_file", help="span file (JSON-lines)")
+    p_tcrit.add_argument(
+        "trace_id", nargs="?", default=None,
+        help="trace id (prefix ok); default: the slowest trace in the file",
+    )
+    p_tcrit.add_argument("-v", "--verbose", action="store_true")
+
+    p_tsum = trace_sub.add_parser(
+        "summary",
+        help="aggregate spans by name across every trace in the file",
+    )
+    p_tsum.add_argument("trace_file", help="span file (JSON-lines)")
+    p_tsum.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless every span carries a trace_id, every "
+             "parent resolves, and each trace forms a single tree",
+    )
+    p_tsum.add_argument("-v", "--verbose", action="store_true")
+
     return parser
 
 
@@ -344,8 +405,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
             except OSError as exc:
                 print(f"cannot write {path}: {exc}", file=sys.stderr)
                 return 2
+    run_trace_id = None
+    run_root_span = None
     if args.trace_out:
         obs.tracer.enable()
+        # One trace per run: every span of this process (and, via context
+        # propagation, of its pool/dist workers) shares this trace id and
+        # parents under a single root span — so the exported file passes
+        # the `repro obs trace summary --check` connectivity gate.
+        run_trace_id = obs.tracer.new_trace_id()
+        run_root_span = obs.tracer.start_span(
+            "run",
+            ctx=obs.tracer.TraceContext(run_trace_id),
+            benchmark=args.benchmark,
+            method=args.method,
+        )
+        obs.tracer.attach(
+            obs.tracer.TraceContext(run_trace_id, run_root_span.id)
+        )
     if args.metrics_out:
         obs.metrics.enable()
     if args.ledger:
@@ -459,9 +536,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.trace_out or args.metrics_out or args.ledger:
         print()
         print(report.observability_summary())
+    trace_info = None
     if args.trace_out:
+        run_root_span.finish()
         count = obs.tracer.export_jsonl(args.trace_out)
-        print(f"wrote {count} spans to {args.trace_out}")
+        trace_info = {
+            "trace_id": run_trace_id,
+            "file": args.trace_out,
+            "spans": count,
+        }
+        print(f"wrote {count} spans to {args.trace_out} "
+              f"(trace {run_trace_id})")
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as fh:
             fh.write(obs.metrics.registry().render_prometheus())
@@ -479,6 +564,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "router_rounds": args.router_rounds,
                 "maze_expansion_limit": args.maze_expansion_limit,
             },
+            trace=trace_info,
         )
         obs.ledger.append_entry(args.ledger, entry)
         print(f"appended run-ledger entry to {args.ledger}")
@@ -552,6 +638,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import ledger as run_ledger
 
+    if args.obs_command == "trace":
+        return _cmd_obs_trace(args)
     try:
         if args.obs_command == "show":
             entries = run_ledger.read_entries(args.ledger)
@@ -601,6 +689,9 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         print(f"obs check FAILED for {label}:", file=sys.stderr)
         for violation in violations:
             print(f"  - {violation}", file=sys.stderr)
+        pointer = run_ledger.trace_pointer(current)
+        if pointer:
+            print(f"  {pointer}", file=sys.stderr)
         return 1
     print(
         f"obs check ok: {label} within thresholds of baseline "
@@ -610,11 +701,34 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_trace(args: argparse.Namespace) -> int:
+    from repro.obs import traceview
+
+    try:
+        traces = traceview.assemble(traceview.load_spans(args.trace_file))
+        if args.trace_command == "summary":
+            violations = traceview.check(traces) if args.check else None
+            print(traceview.render_summary(traces, violations))
+            return 1 if violations else 0
+        trace = traceview.select_trace(traces, args.trace_id)
+        if args.trace_command == "show":
+            print(traceview.render_tree(trace))
+        else:  # critical
+            print(traceview.render_critical(trace))
+    except (OSError, ValueError) as exc:
+        print(f"obs trace {args.trace_command}: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.service import ServeConfig, run_server
 
+    dist_listen, dist_authkey, code = _dist_listen_args(args, "serve")
+    if code is not None:
+        return code
     try:
         config = ServeConfig(
             host=args.host,
@@ -625,6 +739,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             default_deadline_ms=args.default_deadline_ms,
             max_scale=args.max_scale,
             max_workers=args.max_workers,
+            dist_listen=dist_listen,
+            dist_authkey=dist_authkey,
         )
     except ValueError as exc:
         print(f"serve: {exc}", file=sys.stderr)
@@ -678,10 +794,47 @@ def _cmd_dist_worker(args: argparse.Namespace) -> int:
         return 1
 
 
+def _dist_listen_args(args: argparse.Namespace, command: str):
+    """Validated ``(listen, authkey, error_code)`` for a --dist-listen flag.
+
+    ``error_code`` is ``None`` on success (including the flag being absent);
+    otherwise it is the exit code to return after the printed diagnostic.
+    """
+    if not getattr(args, "dist_listen", None):
+        return None, None, None
+    address = _parse_hostport(args.dist_listen)
+    if address is None:
+        print(
+            f"--dist-listen must look like HOST:PORT, got "
+            f"{args.dist_listen!r}",
+            file=sys.stderr,
+        )
+        return None, None, EXIT_USAGE
+    authkey = os.environ.get("REPRO_DIST_AUTHKEY", "")
+    if not authkey:
+        print(
+            f"{command}: --dist-listen requires the REPRO_DIST_AUTHKEY env "
+            "var (shared secret remote workers authenticate with)",
+            file=sys.stderr,
+        )
+        return None, None, EXIT_USAGE
+    return address, authkey.encode("utf-8"), None
+
+
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
     from repro.obs import ledger as run_ledger
     from repro.service import LoadGenConfig, render_summary, run_loadgen
 
+    dist_listen, dist_authkey, code = _dist_listen_args(args, "bench-serve")
+    if code is not None:
+        return code
+    if dist_listen is not None and args.url:
+        print(
+            "bench-serve: --dist-listen applies to the in-process server; "
+            "it cannot reconfigure an existing --url server",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     config = LoadGenConfig(
         benchmark=args.benchmark,
         scale=args.scale,
@@ -696,6 +849,9 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         timeout_seconds=args.timeout,
         verify=args.verify,
         url=args.url,
+        trace_out=args.trace_out,
+        dist_listen=dist_listen,
+        dist_authkey=dist_authkey,
     )
     try:
         result = run_loadgen(config)

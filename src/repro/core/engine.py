@@ -56,7 +56,7 @@ _REL_TOL = 1e-9
 _LEAF_BUCKETS = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 5.0)
 
 
-def _solve_leaf_task(solver, capture_telemetry, problem, warm=None):
+def _solve_leaf_task(solver, capture_telemetry, problem, warm=None, trace=None):
     """One leaf solve with its telemetry in the payload.
 
     The worker's wall-clock phases are always measured and returned —
@@ -72,9 +72,15 @@ def _solve_leaf_task(solver, capture_telemetry, problem, warm=None):
     ``(problem, warm)`` and the result cannot depend on which worker —
     or which retry attempt — executes the task.  The post-solve state is
     returned so the parent can advance its authoritative store.
+
+    ``trace`` is the parent's trace context wire dict, attached after the
+    observability reset so the worker's ``engine.leaf`` span parents under
+    the parent-process span that scheduled it.
     """
     if any(capture_telemetry):
         collect.init_worker_observability(*capture_telemetry)
+    if trace is not None and tracer.is_enabled():
+        tracer.attach(tracer.TraceContext.from_dict(trace))
     managed = hasattr(solver, "import_warm") and hasattr(solver, "export_warm")
     if managed:
         solver.import_warm(problem, warm)
@@ -103,8 +109,8 @@ def _pool_initializer(solver, capture_telemetry) -> None:
 
 def _solve_pooled_leaf(payload):
     """Pool-task entry point: solve one leaf with the worker-resident solver."""
-    problem, warm = payload
-    return _solve_leaf_task(_POOL_SOLVER, _POOL_CAPTURE, problem, warm)
+    problem, warm, trace = payload
+    return _solve_leaf_task(_POOL_SOLVER, _POOL_CAPTURE, problem, warm, trace)
 
 
 # Every live pool, so one atexit hook can reap executors that callers
@@ -185,10 +191,13 @@ class LeafSolvePool:
                 range(len(problems)),
                 key=lambda i: (-task_cost(problems[i]), i),
             )
+            ctx = tracer.current_context()
+            trace = ctx.to_dict() if ctx is not None else None
             payloads = [
                 (
                     problems[i],
                     self._solver.export_warm(problems[i]) if managed else None,
+                    trace,
                 )
                 for i in order
             ]
@@ -729,7 +738,9 @@ class CPLAEngine:
                 )
             else:
                 self._pool = LeafSolvePool(self.config.workers, self._solver)
-        parent_span = tracer.current_span_id()
+        parent_ctx = tracer.current_context()
+        parent_span = parent_ctx.span_id if parent_ctx is not None else None
+        parent_trace = parent_ctx.trace_id if parent_ctx is not None else None
         with clock.phase("solve"):
             results = self._pool.map(problems)
         if results is None:
@@ -745,7 +756,7 @@ class CPLAEngine:
             leaf_seconds = telemetry.phases.get("solve", 0.0)
             metrics.observe("engine.leaf_solve_seconds", leaf_seconds, _LEAF_BUCKETS)
             collect.merge_worker_telemetry(
-                telemetry, self._worker_clock, parent_span
+                telemetry, self._worker_clock, parent_span, parent_trace
             )
             overflow = self._map_and_apply(
                 problem, x_values, ledger, reserved, nets_by_id, clock

@@ -551,14 +551,20 @@ class DistFabric:
         if task.payload is None:
             task.payload = protocol.pack_payload((task.problem, task.warm))
         task.dispatches += 1
+        message = {
+            "type": "task",
+            "task": task.index,
+            "attempt": task.dispatches,
+            "cost": task.cost,
+            "payload": task.payload,
+        }
+        # The trace context rides in the JSON envelope, not the cached
+        # pickled payload, so retried/stolen dispatches re-ship it too.
+        ctx = tracer.current_context()
+        if ctx is not None:
+            message["trace"] = ctx.to_dict()
         try:
-            protocol.send_message(worker.conn, {
-                "type": "task",
-                "task": task.index,
-                "attempt": task.dispatches,
-                "cost": task.cost,
-                "payload": task.payload,
-            })
+            protocol.send_message(worker.conn, message)
         except (OSError, ValueError):
             task.dispatches -= 1
             return False

@@ -30,7 +30,11 @@ type            direction   fields
 ``init``        C -> W      ``payload`` = pickled ``(solver, capture_flags)``
 ``ready``       W -> C      ``worker``, ``pid``
 ``task``        C -> W      ``task``, ``attempt``, ``cost``, ``payload`` =
-                            pickled ``(problem, warm_state)``
+                            pickled ``(problem, warm_state)``; optional
+                            ``trace`` = ``{"trace_id", "span_id"}`` — the
+                            coordinator's trace context, carried in the
+                            JSON envelope (not the cached pickled payload)
+                            so retries and steals re-ship the live context
 ``result``      W -> C      ``task``, ``attempt``, ``solve_seconds``,
                             ``payload`` = pickled
                             ``(result, telemetry, new_warm_state)``

@@ -107,7 +107,8 @@ class _Heartbeat(threading.Thread):
         self._stop.set()
 
 
-def solve_task(solver, capture_flags: Tuple[bool, bool, bool], problem, warm=None):
+def solve_task(solver, capture_flags: Tuple[bool, bool, bool], problem, warm=None,
+               trace=None):
     """One leaf solve with its telemetry, mirroring the pool task body.
 
     ``warm`` is the coordinator-owned warm-start state shipped with the
@@ -115,9 +116,16 @@ def solve_task(solver, capture_flags: Tuple[bool, bool, bool], problem, warm=Non
     every attempt of a task — on any worker, after any steal or retry —
     computes the identical result.  The post-solve state rides back in
     the result frame for the coordinator's authoritative store.
+
+    ``trace`` is the coordinator's trace context (``TraceContext`` wire
+    dict): attaching it after the observability reset makes the worker's
+    ``engine.leaf`` span parent directly under the coordinator's
+    ``dist.map`` span, across the process (and machine) boundary.
     """
     if any(capture_flags):
         collect.init_worker_observability(*capture_flags)
+    if trace is not None and tracer.is_enabled():
+        tracer.attach(tracer.TraceContext.from_dict(trace))
     managed = hasattr(solver, "import_warm") and hasattr(solver, "export_warm")
     if managed:
         solver.import_warm(problem, warm)
@@ -190,7 +198,8 @@ def serve_connection(
             started = time.monotonic()
             try:
                 problem, warm = protocol.unpack_payload(message["payload"])
-                result = solve_task(solver, tuple(capture_flags), problem, warm)
+                result = solve_task(solver, tuple(capture_flags), problem, warm,
+                                    trace=message.get("trace"))
             except Exception as exc:
                 with send_lock:
                     protocol.send_message(conn, {

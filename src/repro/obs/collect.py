@@ -86,22 +86,28 @@ def merge_worker_telemetry(
     telemetry: Optional[WorkerTelemetry],
     worker_clock: Optional[WallClock] = None,
     parent_span_id: Optional[str] = None,
+    trace_id: Optional[str] = None,
 ) -> None:
     """Fold one worker payload into the parent-process stores.
 
     Root spans of the worker (``parent is None``) are attached to
     ``parent_span_id`` so the merged trace nests engine → leaf → solver
-    even across the process boundary.
+    even across the process boundary.  When the worker solved under a
+    shipped :class:`~repro.obs.tracer.TraceContext` its spans already
+    carry the right parent and trace, and both fixups are no-ops; the
+    re-parent/``trace_id`` backfill stays as the fallback for payloads
+    produced without a context.
     """
     if telemetry is None:
         return
     if telemetry.spans:
-        spans = telemetry.spans
-        if parent_span_id is not None:
-            spans = [
-                {**s, "parent": parent_span_id} if s.get("parent") is None else s
-                for s in spans
-            ]
+        spans = []
+        for s in telemetry.spans:
+            if parent_span_id is not None and s.get("parent") is None:
+                s = {**s, "parent": parent_span_id}
+            if trace_id is not None and not s.get("trace_id"):
+                s = {**s, "trace_id": trace_id}
+            spans.append(s)
         tracer.extend(spans)
     if telemetry.metrics:
         metrics.registry().merge_dict(telemetry.metrics)

@@ -71,8 +71,14 @@ def build_entry(
     report: Any,
     config: Optional[Dict[str, Any]] = None,
     label: Optional[str] = None,
+    trace: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """One ledger entry from a :class:`~repro.analysis.runreport.RunReport`."""
+    """One ledger entry from a :class:`~repro.analysis.runreport.RunReport`.
+
+    ``trace`` links the entry to its exported trace (``{"trace_id": ...,
+    "file": ...}``) so an ``obs check`` failure points straight at the
+    span tree of the offending run.
+    """
     entry: Dict[str, Any] = {
         "schema": SCHEMA,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
@@ -110,6 +116,8 @@ def build_entry(
         entry["router"] = router
     if label:
         entry["label"] = label
+    if trace:
+        entry["trace"] = trace
     return entry
 
 
@@ -275,6 +283,16 @@ def render_entry(entry: Dict[str, Any]) -> str:
             f"  queue depth p50/p95/max  {depth.get('p50', 0):g}/"
             f"{depth.get('p95', 0):g}/{depth.get('max', 0):g}",
         ])
+    trace = entry.get("trace")
+    if trace:
+        lines.append(
+            f"trace: {trace.get('trace_id', '?')}"
+            + (f"  ({trace['file']})" if trace.get("file") else "")
+            + (
+                f"  [{trace['spans']} spans]"
+                if trace.get("spans") is not None else ""
+            )
+        )
     lines.append(convergence.summary_text(entry.get("convergence", {})))
     return "\n".join(lines)
 
@@ -341,6 +359,23 @@ def diff_entries(a: Dict[str, Any], b: Dict[str, Any]) -> str:
             delta = "n/a"
         rows.append(f"{label:<26} {sa:>12} {sb:>12} {delta:>10}")
     return header + "\n" + "\n".join(rows)
+
+
+def trace_pointer(entry: Dict[str, Any]) -> Optional[str]:
+    """Actionable pointer at an entry's exported trace, if it has one.
+
+    ``repro obs check`` prints this under the violation list so a failing
+    gate leads straight to the span tree of the offending run.
+    """
+    trace = entry.get("trace") or {}
+    trace_id = trace.get("trace_id")
+    if not trace_id:
+        return None
+    where = trace.get("file") or "<trace file>"
+    return (
+        f"trace {trace_id} — inspect with: "
+        f"repro obs trace critical {where} {trace_id[:12]}"
+    )
 
 
 # -- regression gating ------------------------------------------------------

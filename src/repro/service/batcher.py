@@ -29,7 +29,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.runreport import RunReport
 from repro.ispd.request import build_response, extract_assignment
-from repro.obs import metrics
+from repro.obs import metrics, tracer
 from repro.service.jobs import Job, JobQueue
 from repro.service.resident import EngineHost
 from repro.utils import get_logger
@@ -106,12 +106,13 @@ class BatchScheduler:
             )
             leader = pending[0]
             try:
-                report, digest, assignment, engine_runs = (
+                report, digest, assignment, engine_runs, solve_span_id = (
                     await loop.run_in_executor(
                         self._executor,
                         self._solve,
                         leader,
                         want_assignment,
+                        len(pending),
                     )
                 )
             except Exception as exc:
@@ -136,21 +137,43 @@ class BatchScheduler:
                     "serve.solve_seconds", elapsed, SERVICE_BUCKETS
                 )
                 self._fan_out(
-                    pending, report, digest, assignment, engine_runs, elapsed
+                    pending, report, digest, assignment, engine_runs, elapsed,
+                    solve_span_id,
                 )
             finally:
                 self.in_flight = 0
 
     def _solve(
-        self, leader: Job, want_assignment: bool
-    ) -> Tuple[RunReport, str, Optional[Dict[str, List[int]]], int]:
-        """Engine-thread body: resolve the resident and run it once."""
-        resident = self.host.get(leader.request)
-        report, digest = resident.solve()
-        assignment = (
-            extract_assignment(resident.bench) if want_assignment else None
-        )
-        return report, digest, assignment, resident.runs
+        self, leader: Job, want_assignment: bool, batch_size: int
+    ) -> Tuple[RunReport, str, Optional[Dict[str, List[int]]], int,
+               Optional[str]]:
+        """Engine-thread body: resolve the resident and run it once.
+
+        The batch leader's trace context is attached for the duration, so
+        the ``serve.solve`` span (and the whole engine span tree under it)
+        nests under the leader's HTTP request span.  Deduped followers get
+        a span *link* to this solve's span id instead (see ``_fan_out``).
+        """
+        ctx = leader.ctx
+        token = tracer.attach(ctx) if ctx is not None else None
+        try:
+            with tracer.span(
+                "serve.solve",
+                signature=leader.request.signature_key(),
+                batch_size=batch_size,
+            ) as span:
+                resident = self.host.get(leader.request)
+                report, digest = resident.solve()
+                assignment = (
+                    extract_assignment(resident.bench)
+                    if want_assignment else None
+                )
+            return report, digest, assignment, resident.runs, getattr(
+                span, "id", None
+            )
+        finally:
+            if ctx is not None:
+                tracer.detach(token)
 
     def _fan_out(
         self,
@@ -160,8 +183,11 @@ class BatchScheduler:
         assignment: Optional[Dict[str, List[int]]],
         engine_runs: int,
         elapsed: float,
+        solve_span_id: Optional[str] = None,
     ) -> None:
         now = time.monotonic()
+        leader = jobs[0]
+        leader_trace = leader.ctx.trace_id if leader.ctx is not None else None
         for job in jobs:
             if job.future.done():
                 continue
@@ -176,6 +202,22 @@ class BatchScheduler:
                 "engine_runs": engine_runs,
                 "warm": engine_runs > 1,
             }
+            if job is not leader and job.ctx is not None:
+                # The dedup winner ran the engine; followers record a span
+                # link into the winning run's trace so their own (otherwise
+                # leaf-less) trace points at the spans that did the work.
+                serving["link"] = {
+                    "trace_id": leader_trace,
+                    "span_id": solve_span_id,
+                }
+                link = tracer.start_span(
+                    "serve.dedup",
+                    ctx=job.ctx,
+                    link_trace_id=leader_trace,
+                    link_span_id=solve_span_id,
+                )
+                if link is not None:
+                    link.finish()
             job.future.set_result(
                 build_response(
                     job.request,

@@ -26,6 +26,7 @@ from typing import Any, Deque, Dict, List, Optional
 
 from repro.ispd.request import AssignRequest
 from repro.obs import metrics
+from repro.obs.tracer import TraceContext
 
 # Queue-depth-at-enqueue histogram buckets (jobs).
 DEPTH_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
@@ -58,6 +59,10 @@ class Job:
     deadline: Optional[float] = None  # monotonic seconds, absolute
     depth_at_enqueue: int = 0
     started_at: Optional[float] = None
+    # Request-scoped trace context (trace_id + the HTTP request span id);
+    # the scheduler attaches the batch leader's context on the engine
+    # thread so the whole solve nests under that request's trace.
+    ctx: Optional[TraceContext] = None
 
     @classmethod
     def create(
@@ -65,6 +70,7 @@ class Job:
         request: AssignRequest,
         loop: asyncio.AbstractEventLoop,
         default_deadline_ms: Optional[float] = None,
+        ctx: Optional[TraceContext] = None,
     ) -> "Job":
         deadline_ms = request.deadline_ms or default_deadline_ms
         deadline = (
@@ -72,7 +78,10 @@ class Job:
             if deadline_ms is not None
             else None
         )
-        return cls(request=request, future=loop.create_future(), deadline=deadline)
+        return cls(
+            request=request, future=loop.create_future(), deadline=deadline,
+            ctx=ctx,
+        )
 
     @property
     def expired(self) -> bool:

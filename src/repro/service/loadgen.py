@@ -36,6 +36,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.ispd.request import AssignRequest, assignment_digest
 from repro.obs import ledger as run_ledger
+from repro.obs import tracer
 from repro.service.server import AssignServer, ServeConfig
 from repro.utils import get_logger
 
@@ -52,19 +53,28 @@ async def http_request(
     path: str,
     body: Optional[Dict[str, Any]] = None,
     timeout: float = 300.0,
+    headers: Optional[Dict[str, str]] = None,
 ) -> Tuple[int, Any]:
-    """One HTTP/1.1 exchange; returns (status, parsed JSON or text)."""
+    """One HTTP/1.1 exchange; returns (status, parsed JSON or text).
+
+    ``headers`` adds extra request headers — e.g. ``traceparent`` to join
+    the request to a caller-side trace.
+    """
     reader, writer = await asyncio.wait_for(
         asyncio.open_connection(host, port), timeout=timeout
     )
     try:
         blob = json.dumps(body).encode("utf-8") if body is not None else b""
+        extra = "".join(
+            f"{key}: {value}\r\n" for key, value in (headers or {}).items()
+        )
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {host}:{port}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(blob)}\r\n"
-            f"Connection: close\r\n\r\n"
+            + extra
+            + "Connection: close\r\n\r\n"
         )
         writer.write(head.encode("latin-1") + blob)
         await writer.drain()
@@ -176,6 +186,13 @@ class LoadGenConfig:
     url: Optional[str] = None  # None -> spawn an in-process server
     max_queue: int = 32
     max_batch: int = 8
+    # Tracing: export the campaign's spans (in-process server only — a
+    # --url server records spans in its own process) and link the entry.
+    trace_out: Optional[str] = None
+    # TCP listener for remote dist workers, passed to the in-process
+    # server's engine host (``--exec dist`` requests only).
+    dist_listen: Optional[Tuple[str, int]] = None
+    dist_authkey: Optional[bytes] = None
 
     def assign_body(self) -> Dict[str, Any]:
         return AssignRequest(
@@ -308,23 +325,34 @@ def _local_digest(cfg: LoadGenConfig) -> str:
     from repro.core.engine import CPLAConfig
     from repro.pipeline import prepare, run_method
 
-    bench = prepare(cfg.benchmark, scale=cfg.scale)
-    cpla_config = (
-        CPLAConfig(workers=cfg.workers, exec_backend=cfg.exec_backend)
-        if cfg.workers and cfg.method in ("sdp", "ilp")
-        else None
-    )
-    run_method(
-        bench, cfg.method,
-        critical_ratio=cfg.ratio_percent / 100.0,
-        cpla_config=cpla_config,
-    )
-    return assignment_digest(bench)
+    # The verify solve is not a serve request; give it its own trace so a
+    # traced campaign still exports a file where every span resolves.
+    token = tracer.attach(tracer.TraceContext(tracer.new_trace_id()))
+    try:
+        with tracer.span("loadgen.verify", benchmark=cfg.benchmark):
+            bench = prepare(cfg.benchmark, scale=cfg.scale)
+            cpla_config = (
+                CPLAConfig(workers=cfg.workers, exec_backend=cfg.exec_backend)
+                if cfg.workers and cfg.method in ("sdp", "ilp")
+                else None
+            )
+            run_method(
+                bench, cfg.method,
+                critical_ratio=cfg.ratio_percent / 100.0,
+                cpla_config=cpla_config,
+            )
+            return assignment_digest(bench)
+    finally:
+        tracer.detach(token)
 
 
 def run_loadgen(cfg: LoadGenConfig) -> LoadGenResult:
     """Execute one campaign and build its ledger entry."""
     server: Optional[ServerThread] = None
+    if cfg.trace_out:
+        # Enable before the server (and its engine pools/fabrics, which
+        # snapshot the capture flags at startup) comes up.
+        tracer.enable()
     if cfg.url:
         host, port = _parse_url(cfg.url)
     else:
@@ -334,6 +362,8 @@ def run_loadgen(cfg: LoadGenConfig) -> LoadGenResult:
                 max_queue=cfg.max_queue,
                 max_batch=cfg.max_batch,
                 max_workers=max(4, cfg.workers),
+                dist_listen=cfg.dist_listen,
+                dist_authkey=cfg.dist_authkey,
             )
         ).start()
         host, port = server.config.host, server.port  # type: ignore[assignment]
@@ -343,6 +373,13 @@ def run_loadgen(cfg: LoadGenConfig) -> LoadGenResult:
         if server is not None:
             server.stop()
 
+    trace_info: Optional[Dict[str, Any]] = None
+    if cfg.trace_out:
+        # The server drained above, so every request span is recorded.
+        span_count = tracer.export_jsonl(cfg.trace_out)
+        trace_info = {"file": cfg.trace_out, "spans": span_count}
+        log.info("exported %d spans to %s", span_count, cfg.trace_out)
+
     cold_ms, cold_payload = measured["cold"]
     warm_samples, warm_payloads = measured["warm"]
     warm_ms = statistics.median(warm_samples)
@@ -351,10 +388,16 @@ def run_loadgen(cfg: LoadGenConfig) -> LoadGenResult:
     latencies: List[float] = []
     depths: List[float] = []
     deduped = 0
+    slowest: Tuple[float, Optional[str]] = (-1.0, None)
     for ms, status, payload in measured["load"]:
+        trace_id = (
+            payload.get("trace_id") if isinstance(payload, dict) else None
+        )
         if status == 200:
             result.ok += 1
             latencies.append(ms)
+            if ms > slowest[0]:
+                slowest = (ms, trace_id)
             serving = payload.get("serving", {})
             depths.append(float(serving.get("queue_depth", 0)))
             if serving.get("deduped"):
@@ -432,6 +475,18 @@ def run_loadgen(cfg: LoadGenConfig) -> LoadGenResult:
             "verified_against_run": result.verified,
         },
     }
+    # Trace linkage: the slowest load request is the one `obs check`
+    # failures most want explained, so it is the entry's primary trace id.
+    cold_trace = (
+        cold_payload.get("trace_id") if isinstance(cold_payload, dict) else None
+    )
+    if trace_info is not None or cold_trace is not None:
+        entry["trace"] = {
+            **(trace_info or {}),
+            "trace_id": slowest[1] or cold_trace,
+            "cold_trace_id": cold_trace,
+            "slowest_ms": round(slowest[0], 3) if slowest[1] else None,
+        }
     result.entry = entry
     return result
 
@@ -458,4 +513,10 @@ def render_summary(result: LoadGenResult) -> str:
             if result.verified is not None else ""
         ),
     ]
+    trace = result.entry.get("trace")
+    if trace and trace.get("trace_id"):
+        where = f"  ({trace['file']})" if trace.get("file") else ""
+        lines.append(
+            f"  slowest-request trace: {trace['trace_id']}{where}"
+        )
     return "\n".join(lines)

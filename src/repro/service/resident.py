@@ -60,9 +60,21 @@ def restore_layers(bench: Benchmark, layers: Dict[SegKey, int]) -> None:
 
 
 class ResidentEngine:
-    """Warm solver state for one problem signature."""
+    """Warm solver state for one problem signature.
 
-    def __init__(self, request: AssignRequest, prepare_fn=None) -> None:
+    ``dist_listen``/``dist_authkey`` (host-level, not per-request) open a
+    TCP listener on the engine's dist fabric for ``--exec dist`` requests,
+    so remote ``repro dist-worker --connect`` workers can serve leaves of
+    requests handled by this server.
+    """
+
+    def __init__(
+        self,
+        request: AssignRequest,
+        prepare_fn=None,
+        dist_listen: Optional[Tuple[str, int]] = None,
+        dist_authkey: Optional[bytes] = None,
+    ) -> None:
         from repro.pipeline import prepare  # deferred: pipeline imports engines
 
         self.signature = request.signature()
@@ -88,11 +100,19 @@ class ResidentEngine:
             self.bench = prepare_fn(request.benchmark, scale=request.scale)
         self._engine: Optional[CPLAEngine] = None
         if self.method in ("sdp", "ilp"):
+            dist_config = None
+            if request.exec_backend == "dist" and dist_listen is not None:
+                from repro.dist.fabric import DistFabricConfig
+
+                dist_config = DistFabricConfig(
+                    listen=dist_listen, authkey=dist_authkey
+                )
             config = CPLAConfig(
                 method=self.method,
                 critical_ratio=request.ratio_percent / 100.0,
                 workers=request.workers,
                 exec_backend=request.exec_backend,
+                dist=dist_config,
             )
             self._engine = CPLAEngine(self.bench, config)
             self._baseline = self._engine.snapshot_layers()
@@ -135,10 +155,17 @@ class ResidentEngine:
 class EngineHost:
     """Capacity-bounded LRU of :class:`ResidentEngine` keyed by signature."""
 
-    def __init__(self, capacity: int = 4) -> None:
+    def __init__(
+        self,
+        capacity: int = 4,
+        dist_listen: Optional[Tuple[str, int]] = None,
+        dist_authkey: Optional[bytes] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        self.dist_listen = dist_listen
+        self.dist_authkey = dist_authkey
         self._residents: "OrderedDict[Tuple, ResidentEngine]" = OrderedDict()
 
     def get(self, request: AssignRequest) -> ResidentEngine:
@@ -147,7 +174,11 @@ class EngineHost:
         if resident is None:
             metrics.inc("serve.engine_builds")
             log.info("building resident engine for %s", request.signature_key())
-            resident = ResidentEngine(request)
+            resident = ResidentEngine(
+                request,
+                dist_listen=self.dist_listen,
+                dist_authkey=self.dist_authkey,
+            )
             self._residents[signature] = resident
             while len(self._residents) > self.capacity:
                 _, evicted = self._residents.popitem(last=False)

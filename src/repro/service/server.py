@@ -15,6 +15,13 @@ connection.  Endpoints:
 - ``GET  /readyz``   — readiness: 200 while accepting, 503 once draining.
 - ``POST /v1/drain`` — begin graceful drain (same path as SIGTERM).
 
+Every request is trace-scoped: an incoming W3C ``traceparent`` header is
+continued (or a fresh trace id minted), the ``trace_id`` is returned in
+every JSON response body and ``X-Trace-Id`` header — 429/500/504
+included — and, when tracing is enabled, a detached ``serve.request``
+span roots the request's span tree (engine and worker spans nest under
+it through the batch scheduler; see ``repro obs trace``).
+
 Lifecycle: SIGTERM/SIGINT (or ``/v1/drain``) stops admission, lets
 in-flight and queued jobs finish on the engine thread, closes resident
 engines (and their process pools), then exits 0.  Request handling is
@@ -32,7 +39,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from repro.ispd.request import AssignRequest, RequestError, error_body
-from repro.obs import metrics
+from repro.obs import metrics, tracer
+from repro.obs.tracer import TraceContext
 from repro.service.batcher import BatchScheduler, JobFailed
 from repro.service.jobs import Job, JobExpired, JobQueue, QueueClosed, QueueFull
 from repro.service.resident import EngineHost
@@ -68,6 +76,10 @@ class ServeConfig:
     # worker is a process — cap what one request may demand of the box.
     max_scale: float = 1.0
     max_workers: int = 4
+    # Optional TCP listener handed to the dist fabric of ``--exec dist``
+    # residents so remote ``repro dist-worker --connect`` workers can join.
+    dist_listen: Optional[Tuple[str, int]] = None
+    dist_authkey: Optional[bytes] = None
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -82,7 +94,11 @@ class AssignServer:
     def __init__(self, config: Optional[ServeConfig] = None) -> None:
         self.config = config or ServeConfig()
         self.queue = JobQueue(self.config.max_queue)
-        self.host = EngineHost(self.config.engine_cache)
+        self.host = EngineHost(
+            self.config.engine_cache,
+            dist_listen=self.config.dist_listen,
+            dist_authkey=self.config.dist_authkey,
+        )
         self.scheduler = BatchScheduler(
             self.queue, self.host, self.config.max_batch
         )
@@ -166,23 +182,48 @@ class AssignServer:
     ) -> None:
         started = time.monotonic()
         try:
-            method, path, body = await self._read_request(reader)
+            method, path, headers_in, body = await self._read_request(reader)
         except _HttpError as exc:
+            ctx = TraceContext(tracer.new_trace_id())
             await self._respond(
-                writer, exc.status, error_body("bad_request", str(exc))
+                writer, exc.status,
+                self._tag_payload(
+                    error_body("bad_request", str(exc)), ctx
+                ),
+                self._trace_headers({}, ctx),
             )
             return
         except (asyncio.IncompleteReadError, asyncio.TimeoutError,
                 ConnectionError, asyncio.LimitOverrunError):
             writer.close()
             return
+        # Request-scoped trace context: continue an incoming W3C
+        # ``traceparent`` if the caller sent one, else mint a fresh trace.
+        # The request span is *detached* (never on the thread-local nesting
+        # stack): the handler holds it across ``await`` points, where stack
+        # discipline would interleave concurrent requests.
+        ctx = (
+            TraceContext.from_traceparent(headers_in.get("traceparent"))
+            or TraceContext(tracer.new_trace_id())
+        )
+        request_span = tracer.start_span(
+            "serve.request", ctx=ctx, method=method, path=path
+        )
+        job_ctx = TraceContext(
+            ctx.trace_id,
+            request_span.id if request_span is not None else ctx.span_id,
+        )
+        error_type: Optional[str] = None
         try:
-            status, payload, headers = await self._route(method, path, body)
+            status, payload, headers = await self._route(
+                method, path, body, job_ctx
+            )
         except Exception as exc:  # crash isolation: never kill the server
             log.warning(
                 "unhandled error serving %s %s", method, path, exc_info=True
             )
             metrics.inc("serve.internal_errors")
+            error_type = type(exc).__name__
             status, payload, headers = 500, error_body(
                 "internal", f"{type(exc).__name__}: {exc}"
             ), {}
@@ -192,11 +233,42 @@ class AssignServer:
             _REQUEST_BUCKETS,
         )
         metrics.inc(f"serve.http_{status}")
-        await self._respond(writer, status, payload, headers)
+        await self._respond(
+            writer, status,
+            self._tag_payload(payload, job_ctx),
+            self._trace_headers(headers, job_ctx),
+        )
+        if request_span is not None:
+            request_span.set_attr("status", status)
+            if error_type is None and status >= 500:
+                error_type = f"http_{status}"
+            request_span.finish(error_type)
+
+    @staticmethod
+    def _tag_payload(payload: Any, ctx: TraceContext) -> Any:
+        """Stamp the request's trace id into every JSON response body.
+
+        Applies to *all* statuses — 429/500/504 included — so a client can
+        always hand a trace id to ``repro obs trace`` even when response
+        headers were swallowed by a proxy or a minimal client.
+        """
+        if isinstance(payload, dict):
+            payload.setdefault("trace_id", ctx.trace_id)
+        return payload
+
+    @staticmethod
+    def _trace_headers(
+        headers: Optional[Dict[str, str]], ctx: TraceContext
+    ) -> Dict[str, str]:
+        headers = dict(headers or {})
+        headers.setdefault("X-Trace-Id", ctx.trace_id or "")
+        if ctx.span_id is not None:
+            headers.setdefault("traceparent", ctx.to_traceparent())
+        return headers
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, bytes]:
+    ) -> Tuple[str, str, Dict[str, str], bytes]:
         try:
             head = await asyncio.wait_for(
                 reader.readuntil(b"\r\n\r\n"),
@@ -227,7 +299,7 @@ class AssignServer:
                      f"{self.config.max_body_bytes}"
             )
         body = await reader.readexactly(length) if length else b""
-        return method, path.split("?", 1)[0], body
+        return method, path.split("?", 1)[0], headers, body
 
     async def _respond(
         self,
@@ -260,7 +332,7 @@ class AssignServer:
     # -- routing ----------------------------------------------------------
 
     async def _route(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, body: bytes, ctx: TraceContext
     ) -> Tuple[int, Any, Dict[str, str]]:
         if path == "/healthz" and method == "GET":
             return 200, {
@@ -292,7 +364,7 @@ class AssignServer:
                 "in_flight": in_flight,
             }, {}
         if path == "/v1/assign" and method == "POST":
-            return await self._assign(body)
+            return await self._assign(body, ctx)
         if path in ("/healthz", "/readyz", "/metrics", "/v1/drain",
                     "/v1/assign"):
             return 405, error_body(
@@ -300,7 +372,9 @@ class AssignServer:
             ), {}
         return 404, error_body("not_found", f"no route {path}"), {}
 
-    async def _assign(self, body: bytes) -> Tuple[int, Any, Dict[str, str]]:
+    async def _assign(
+        self, body: bytes, ctx: TraceContext
+    ) -> Tuple[int, Any, Dict[str, str]]:
         try:
             payload = json.loads(body.decode("utf-8") or "null")
             request = AssignRequest.from_json(payload)
@@ -312,6 +386,7 @@ class AssignServer:
             request,
             asyncio.get_running_loop(),
             self.config.default_deadline_ms,
+            ctx=ctx,
         )
         try:
             self.queue.submit(job)

@@ -294,7 +294,7 @@ class TestEngineHost:
         closed = []
 
         class _StubResident:
-            def __init__(self, request):
+            def __init__(self, request, **kwargs):
                 self.signature = request.signature()
                 self.key = request.signature_key()
 
@@ -317,7 +317,7 @@ class TestEngineHost:
         closed = []
 
         class _StubResident:
-            def __init__(self, request):
+            def __init__(self, request, **kwargs):
                 self.signature = request.signature()
                 self.key = request.signature_key()
 
