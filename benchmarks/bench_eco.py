@@ -1,0 +1,310 @@
+"""ECO-tier benchmark: incremental re-solve vs cold full re-solve.
+
+The ECO engine's pitch is that a small edit against a committed
+assignment should cost a small fraction of a cold solve: only the dirty
+partition leaves are re-solved, everything else keeps its committed
+layers.  This harness measures exactly that, per edit size:
+
+- commit a baseline solve (fresh prepare + full ``CPLAEngine.run``);
+- apply one ``net_resize`` edit touching ``k`` nets through
+  :class:`~repro.eco.engine.EcoEngine` and time the **incremental**
+  apply (dirty timing + restricted re-solve + post-map + commit);
+- replay the same edit history cold via
+  :func:`~repro.eco.engine.cold_replay_digest` (fresh state, full
+  re-solve) and time the **cold** path;
+- assert the two digests are bit-identical (the equivalence guarantee —
+  a speedup that changes the answer is not a speedup).
+
+The headline number is the single-net speedup ``cold/incremental``;
+``--check`` fails unless it clears ``--min-speedup`` (default 3x) and
+every edit size replayed bit-identically.  Snapshots land in
+``BENCH_eco.json`` keyed by ``--label``; ``--ledger`` appends one
+``eco:<method>`` run-ledger entry per edit size (``tier: eco``, with an
+``eco`` section) so ``repro obs check --max-dirty-fraction`` gates the
+dirtiness blast radius in CI against ``benchmarks/results/
+eco_baseline.jsonl``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_eco.py --label current \
+        --scale 3 --edit-sizes 1,5,25 --out BENCH_eco.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.engine import CPLAConfig, CPLAEngine
+from repro.eco.edits import EcoEdit
+from repro.eco.engine import EcoEngine, EcoReport, cold_replay_digest
+from repro.ispd.request import assignment_digest
+from repro.obs.ledger import SCHEMA, append_entry, fingerprint
+from repro.pipeline import prepare
+
+BENCH_SCHEMA = "repro.bench_eco/v1"
+DEFAULT_EDIT_SIZES = "1,5,25"
+
+METHODOLOGY = (
+    "Per edit size k: prepare the benchmark fresh, commit a full baseline "
+    "solve, then apply one net_resize edit touching k nets spread evenly "
+    "across the net-id space through EcoEngine (incremental wall), and "
+    "replay the identical edit history cold from fresh state via "
+    "cold_replay_digest (cold wall = prepare + full solve + replay). The "
+    "digests must match bit-for-bit; speedup = cold/incremental. The "
+    "harness only touches public APIs, so the identical command measures "
+    "any revision: 'baseline' is recorded on the pre-change commit, "
+    "'current' on this one, same machine, same inputs."
+)
+
+
+def _git_commit() -> str:
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            text=True,
+        ).strip()
+    except Exception:
+        return "unknown"
+
+
+def _edit_for(num_nets: int, size: int, factor: float) -> EcoEdit:
+    """One resize edit touching ``size`` nets, spread over the id space."""
+    if size >= num_nets:
+        nets = tuple(range(num_nets))
+    else:
+        stride = num_nets / size
+        nets = tuple(sorted({int(i * stride) for i in range(size)}))
+    return EcoEdit(op="net_resize", nets=nets, factor=factor)
+
+
+def run_one(
+    benchmark: str,
+    size: int,
+    scale: float,
+    ratio: float,
+    method: str,
+    workers: int,
+    exec_backend: str,
+    factor: float,
+) -> tuple:
+    """Measure one edit size; returns (record, report)."""
+    bench = prepare(benchmark, scale=scale)
+    config = CPLAConfig(
+        method=method, critical_ratio=ratio / 100.0,
+        workers=workers, exec_backend=exec_backend,
+    )
+    edit = _edit_for(bench.num_nets, size, factor)
+    with CPLAEngine(bench, config) as engine:
+        baseline_start = time.perf_counter()
+        engine.run()
+        baseline_seconds = time.perf_counter() - baseline_start
+        eco = EcoEngine(engine)
+        incremental_start = time.perf_counter()
+        report = eco.apply([edit])
+        incremental_seconds = time.perf_counter() - incremental_start
+        incremental_digest = assignment_digest(engine.bench)
+
+    cold_start = time.perf_counter()
+    cold_digest = cold_replay_digest(
+        benchmark, ((edit,),), scale=scale, critical_ratio=ratio / 100.0,
+        workers=workers, exec_backend=exec_backend,
+    )
+    cold_seconds = time.perf_counter() - cold_start
+
+    speedup = cold_seconds / incremental_seconds if incremental_seconds else 0.0
+    record = {
+        "edit_size": size,
+        "nets_edited": len(edit.nets),
+        "num_nets": bench.num_nets,
+        "baseline_solve_seconds": round(baseline_seconds, 4),
+        "incremental_seconds": round(incremental_seconds, 4),
+        "cold_seconds": round(cold_seconds, 4),
+        "speedup": round(speedup, 3),
+        "dirty_leaves": report.dirty.get("dirty_leaves", 0),
+        "num_leaves": report.dirty.get("num_leaves", 0),
+        "dirty_fraction": round(report.dirty_fraction, 4),
+        "accepted": report.accepted,
+        "digest": incremental_digest,
+        "digest_match": incremental_digest == cold_digest,
+    }
+    print(
+        f"edit size {size:>3}: incremental {incremental_seconds:.2f}s vs "
+        f"cold {cold_seconds:.2f}s = {speedup:.1f}x | dirty "
+        f"{record['dirty_leaves']}/{record['num_leaves']} leaves | "
+        f"digests {'match' if record['digest_match'] else 'DIVERGE'}",
+        flush=True,
+    )
+    return record, report
+
+
+def _ledger_entry(
+    args: argparse.Namespace, record: Dict[str, Any], report: EcoReport
+) -> Dict[str, Any]:
+    """One ``eco:<method>`` run-ledger entry for one edit size."""
+    return {
+        "schema": SCHEMA,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "benchmark": report.benchmark,
+        "method": f"eco:{args.method}",
+        "critical_ratio": args.ratio / 100.0,
+        "fingerprint": fingerprint({
+            "scale": args.scale,
+            "critical_ratio": args.ratio / 100.0,
+            "workers": args.workers,
+            "exec_backend": args.exec_backend,
+            "tier": "eco",
+            "edit_size": record["edit_size"],
+            "resize_factor": args.factor,
+        }),
+        "quality": {
+            "initial_avg_tcp": report.pre_avg_tcp,
+            "final_avg_tcp": report.post_avg_tcp,
+            "initial_max_tcp": report.pre_max_tcp,
+            "final_max_tcp": report.post_max_tcp,
+        },
+        "runtime": {
+            "total_seconds": record["incremental_seconds"],
+            "phases": {
+                "eco:incremental": record["incremental_seconds"],
+                "eco:cold_replay": record["cold_seconds"],
+            },
+            "worker_phases": {},
+        },
+        "convergence": {},
+        "eco": {
+            "epoch": report.epoch,
+            "num_edits": report.num_edits,
+            "edit_digest": report.edit_digest,
+            "edit_size": record["edit_size"],
+            "released": report.released,
+            "dirty_leaves": record["dirty_leaves"],
+            "num_leaves": record["num_leaves"],
+            "dirty_fraction": report.dirty_fraction,
+            "accepted": report.accepted,
+            "digest": record["digest"],
+            "speedup": record["speedup"],
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", required=True, help="snapshot label (baseline/current)")
+    parser.add_argument("--out", default="BENCH_eco.json")
+    parser.add_argument("--benchmark", default="adaptec1")
+    parser.add_argument("--scale", type=float, default=3.0)
+    parser.add_argument("--ratio", type=float, default=0.5, help="critical ratio in percent")
+    parser.add_argument("--method", default="sdp", choices=["sdp", "ilp"])
+    parser.add_argument("--workers", type=int, default=0)
+    parser.add_argument(
+        "--exec", dest="exec_backend", default="seq",
+        choices=["seq", "pool", "dist", "batch"],
+    )
+    parser.add_argument("--edit-sizes", default=DEFAULT_EDIT_SIZES)
+    parser.add_argument(
+        "--factor", type=float, default=1.25,
+        help="net_resize RC perturbation factor",
+    )
+    parser.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="append one eco-tier run-ledger entry per edit size",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=3.0, metavar="X",
+        help="--check fails unless the smallest edit clears this speedup",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="CI smoke mode: fail on any digest divergence or if the "
+             "smallest edit's incremental speedup misses --min-speedup",
+    )
+    args = parser.parse_args(argv)
+    try:
+        sizes = sorted({int(s) for s in args.edit_sizes.split(",") if s.strip()})
+    except ValueError:
+        parser.error("--edit-sizes must be a comma list of integers")
+    if not sizes or min(sizes) < 1:
+        parser.error("--edit-sizes must be positive integers")
+
+    records: List[Dict[str, Any]] = []
+    for size in sizes:
+        record, report = run_one(
+            args.benchmark, size, args.scale, args.ratio, args.method,
+            args.workers, args.exec_backend, args.factor,
+        )
+        records.append(record)
+        if args.ledger:
+            append_entry(args.ledger, _ledger_entry(args, record, report))
+
+    snapshot = {
+        "label": args.label,
+        "commit": _git_commit(),
+        "python": platform.python_version(),
+        "suite": {
+            "benchmark": args.benchmark,
+            "scale": args.scale,
+            "ratio_percent": args.ratio,
+            "method": args.method,
+            "workers": args.workers,
+            "exec": args.exec_backend,
+            "edit_sizes": sizes,
+            "resize_factor": args.factor,
+        },
+        "single_net_speedup": next(
+            (r["speedup"] for r in records if r["edit_size"] == min(sizes)), 0.0
+        ),
+        "edits": records,
+    }
+
+    data = {"schema": BENCH_SCHEMA, "methodology": METHODOLOGY, "runs": {}}
+    if os.path.exists(args.out):
+        try:
+            with open(args.out, "r", encoding="utf-8") as fh:
+                existing = json.load(fh)
+            if existing.get("schema") == BENCH_SCHEMA:
+                data = existing
+        except (OSError, ValueError):
+            pass
+    data.setdefault("runs", {})[args.label] = snapshot
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.label} snapshot to {args.out}")
+
+    if args.check:
+        bad = []
+        for record in records:
+            if not record["digest_match"]:
+                bad.append(
+                    f"edit size {record['edit_size']}: incremental and cold "
+                    f"digests diverge"
+                )
+        smallest = records[0]
+        if smallest["speedup"] < args.min_speedup:
+            bad.append(
+                f"edit size {smallest['edit_size']}: speedup "
+                f"{smallest['speedup']:.2f}x below --min-speedup "
+                f"{args.min_speedup:g}x"
+            )
+        if bad:
+            print(f"eco-smoke failed: {bad}", file=sys.stderr)
+            return 1
+        print(
+            f"eco-smoke ok: {len(records)} edit sizes, single-net speedup "
+            f"{smallest['speedup']:.1f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -103,21 +103,27 @@ class BatchLeafSolver:
     # -- solving -----------------------------------------------------------
 
     def solve_many(
-        self, problems: Sequence[PartitionProblem]
+        self, problems: Sequence[PartitionProblem], leaf_mask=None
     ) -> List[Tuple[List[np.ndarray], SdpSolveInfo, float]]:
         """Solve every problem; returns (x_values, info, seconds) per input.
 
         Results are in input order.  ``seconds`` is the member's
         iteration-weighted share of its bucket's wall clock (the
         engine feeds it to the same leaf-latency histogram the other
-        backends fill).
+        backends fill).  ``leaf_mask`` (indices into ``problems``)
+        restricts the solve to a sparse leaf subset: masked-out positions
+        stay ``None`` in the output (the ECO path leaves clean leaves as
+        unextracted placeholders).
         """
         solver = self._solver
         admm = solver.admm
+        masked = set(leaf_mask) if leaf_mask is not None else None
         outputs: List[Optional[Tuple[List[np.ndarray], SdpSolveInfo, float]]]
         outputs = [None] * len(problems)
         pending: List[Tuple[int, _Pending]] = []
         for index, problem in enumerate(problems):
+            if masked is not None and index not in masked:
+                continue
             if problem.num_vars == 0:
                 outputs[index] = ([], SdpSolveInfo(0, 0, 0, True, 0.0, "empty"), 0.0)
                 continue

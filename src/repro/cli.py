@@ -15,6 +15,9 @@ Subcommands mirror the repo's workflow::
     repro bench-serve --benchmark adaptec1 --qps 8 --verify  # load replay
     repro run ... --workers 4 --exec dist      # work-stealing solve fabric
     repro dist-worker --connect host:9123      # join a remote coordinator
+    repro closure --benchmark adaptec1 --release-k 4  # ECO closure loop
+    repro sweep --benchmark adaptec1 --alphas 1,2,3   # knob Pareto sweep
+    repro bench-serve ... --eco-rounds 3       # serve-path ECO deltas
     repro bench-serve ... --trace-out spans.jsonl  # traced campaign
     repro obs trace show spans.jsonl           # one trace as a waterfall
     repro obs trace critical spans.jsonl       # where the wall clock went
@@ -237,7 +240,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --exec dist: the in-process server also accepts remote "
              "workers on this address (authkey from REPRO_DIST_AUTHKEY)",
     )
+    p_bsv.add_argument(
+        "--eco-rounds", type=int, default=0, metavar="N",
+        help="after warm-up, apply N chained ECO deltas (worst-k releases) "
+             "through POST /v1/eco with correctly advancing state epochs",
+    )
+    p_bsv.add_argument(
+        "--eco-release-k", type=int, default=4, metavar="K",
+        help="worst-k nets released per --eco-rounds delta (default 4)",
+    )
     _add_common(p_bsv)
+
+    p_clo = sub.add_parser(
+        "closure",
+        help="timing-closure loop: baseline solve, then worst-k release "
+             "ECO rounds until the Max(Tcp) gain dries up",
+    )
+    p_clo.add_argument("--benchmark", required=True, choices=sorted(SUITE))
+    p_clo.add_argument("--method", default="sdp", choices=["sdp", "ilp"])
+    p_clo.add_argument("--workers", type=int, default=0)
+    p_clo.add_argument(
+        "--exec", dest="exec_backend", default="seq",
+        choices=["pool", "dist", "batch", "seq"],
+        help="leaf-solve backend of the baseline and every ECO round",
+    )
+    p_clo.add_argument(
+        "--release-k", type=int, default=4, metavar="K",
+        help="worst-k nets released per round (default 4)",
+    )
+    p_clo.add_argument(
+        "--max-rounds", type=int, default=5, metavar="N",
+        help="round budget (default 5)",
+    )
+    p_clo.add_argument(
+        "--min-gain", type=float, default=0.001, metavar="FRAC",
+        help="stop once a round's relative Max(Tcp) gain drops below this "
+             "(default 0.001)",
+    )
+    p_clo.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="append one closure:<method> run-ledger entry per round",
+    )
+    p_clo.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="enable tracing and export the closure span tree "
+             "(closure.baseline + one closure.round per round) to PATH",
+    )
+    _add_common(p_clo)
+
+    p_swp = sub.add_parser(
+        "sweep",
+        help="knob-grid sweep (partition size x alpha x rho x ratio) with "
+             "a quality-vs-runtime Pareto frontier in the run ledger",
+    )
+    p_swp.add_argument("--benchmark", required=True, choices=sorted(SUITE))
+    p_swp.add_argument("--method", default="sdp", choices=["sdp", "ilp"])
+    p_swp.add_argument("--workers", type=int, default=0)
+    p_swp.add_argument(
+        "--exec", dest="exec_backend", default="seq",
+        choices=["pool", "dist", "batch", "seq"],
+    )
+    p_swp.add_argument(
+        "--partition-sizes", default="10", metavar="N[,N...]",
+        help="max segments per partition leaf (comma-separated)",
+    )
+    p_swp.add_argument(
+        "--alphas", default="2.0", metavar="A[,A...]",
+        help="criticality exponents (the paper's timing-weight alpha)",
+    )
+    p_swp.add_argument(
+        "--rhos", default="1.0", metavar="R[,R...]",
+        help="ADMM rho values",
+    )
+    p_swp.add_argument(
+        "--ratios", default="0.5", metavar="PCT[,PCT...]",
+        help="release ratios in percent, like --ratio (default 0.5)",
+    )
+    p_swp.add_argument("--scale", type=float, default=1.0,
+                       help="net-count scale factor")
+    p_swp.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="append one sweep:<method> run-ledger entry per grid point",
+    )
+    p_swp.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="enable tracing and export one sweep.point span per grid "
+             "point to PATH",
+    )
+    p_swp.add_argument("-v", "--verbose", action="store_true")
 
     p_dw = sub.add_parser(
         "dist-worker",
@@ -331,6 +421,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-via-overflow-increase", type=float, default=None, metavar="N",
         help="max tolerated absolute increase of final via overflow "
              "(default: not gated; 0 means 'no worse than baseline')",
+    )
+    p_check.add_argument(
+        "--max-dirty-fraction", type=float, default=None, metavar="FRAC",
+        help="fail when the current ECO entry re-solved more than this "
+             "fraction of its partition leaves (absolute ceiling on "
+             "eco.dirty_fraction; default: not gated)",
     )
     p_check.add_argument("-v", "--verbose", action="store_true")
 
@@ -682,6 +778,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         serve_p95_latency=args.max_serve_p95_regression,
         min_warm_speedup=args.min_warm_speedup,
         via_overflow_increase=args.max_via_overflow_increase,
+        max_dirty_fraction=args.max_dirty_fraction,
     )
     violations = run_ledger.check_entries(baseline, current, thresholds)
     label = f"{current.get('benchmark')}/{current.get('method')}"
@@ -852,6 +949,8 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         trace_out=args.trace_out,
         dist_listen=dist_listen,
         dist_authkey=dist_authkey,
+        eco_rounds=args.eco_rounds,
+        eco_release_k=args.eco_release_k,
     )
     try:
         result = run_loadgen(config)
@@ -869,6 +968,140 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _traced_root(name: str, trace_out: Optional[str], **attrs):
+    """Start a root span for a whole CLI command; returns (span, trace_id).
+
+    Mirrors ``repro run``'s one-trace-per-invocation discipline so the
+    exported file passes ``repro obs trace summary --check``.
+    """
+    from repro import obs
+
+    if not trace_out:
+        return None, None
+    obs.tracer.enable()
+    trace_id = obs.tracer.new_trace_id()
+    span = obs.tracer.start_span(
+        name, ctx=obs.tracer.TraceContext(trace_id), **attrs
+    )
+    obs.tracer.attach(obs.tracer.TraceContext(trace_id, span.id))
+    return span, trace_id
+
+
+def _finish_trace(span, trace_id, trace_out: Optional[str]):
+    """Finish the root span and export; returns the ledger trace stamp."""
+    from repro import obs
+
+    if span is None:
+        return None
+    span.finish()
+    count = obs.tracer.export_jsonl(trace_out)
+    print(f"wrote {count} spans to {trace_out} (trace {trace_id})")
+    return {"trace_id": trace_id, "file": trace_out, "spans": count}
+
+
+def _cmd_closure(args: argparse.Namespace) -> int:
+    from repro.eco import ClosureConfig, render_closure, run_closure
+
+    try:
+        config = ClosureConfig(
+            benchmark=args.benchmark,
+            scale=args.scale,
+            method=args.method,
+            critical_ratio=args.ratio / 100.0,
+            workers=args.workers,
+            exec_backend=args.exec_backend,
+            release_k=args.release_k,
+            max_rounds=args.max_rounds,
+            min_gain=args.min_gain,
+        )
+    except ValueError as exc:
+        print(f"closure: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    span, trace_id = _traced_root(
+        "closure", args.trace_out,
+        benchmark=args.benchmark, method=args.method,
+    )
+    trace_info = (
+        {"trace_id": trace_id, "file": args.trace_out} if span else None
+    )
+    try:
+        result = run_closure(
+            config, ledger_path=args.ledger, trace_info=trace_info
+        )
+    except (ValueError, KeyError) as exc:
+        print(f"infeasible or invalid input: {exc}", file=sys.stderr)
+        return EXIT_INFEASIBLE
+    _finish_trace(span, trace_id, args.trace_out)
+    print(render_closure(result))
+    if args.ledger:
+        print(
+            f"appended {len(result.rounds)} closure entries to {args.ledger}"
+        )
+    return EXIT_OK
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.eco import SweepConfig, render_sweep, run_sweep
+
+    def csv(text: str, cast):
+        try:
+            values = tuple(cast(t.strip()) for t in text.split(",") if t.strip())
+        except ValueError:
+            values = ()
+        return values
+
+    partition_sizes = csv(args.partition_sizes, int)
+    alphas = csv(args.alphas, float)
+    rhos = csv(args.rhos, float)
+    ratio_pcts = csv(args.ratios, float)
+    if not (partition_sizes and alphas and rhos and ratio_pcts):
+        print(
+            "sweep: --partition-sizes/--alphas/--rhos/--ratios must each "
+            "be a non-empty comma-separated list of numbers",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if any(p < 1 for p in partition_sizes):
+        print("sweep: partition sizes must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+    if any(not 0 < r <= 100 for r in ratio_pcts):
+        print("sweep: ratios are percentages in (0, 100]", file=sys.stderr)
+        return EXIT_USAGE
+    config = SweepConfig(
+        benchmark=args.benchmark,
+        scale=args.scale,
+        method=args.method,
+        workers=args.workers,
+        exec_backend=args.exec_backend,
+        partition_sizes=partition_sizes,
+        alphas=alphas,
+        rhos=rhos,
+        ratios=tuple(r / 100.0 for r in ratio_pcts),
+    )
+    span, trace_id = _traced_root(
+        "sweep", args.trace_out,
+        benchmark=args.benchmark, method=args.method,
+        points=len(config.points()),
+    )
+    trace_info = (
+        {"trace_id": trace_id, "file": args.trace_out} if span else None
+    )
+    try:
+        result = run_sweep(
+            config, ledger_path=args.ledger, trace_info=trace_info
+        )
+    except (ValueError, KeyError) as exc:
+        print(f"infeasible or invalid input: {exc}", file=sys.stderr)
+        return EXIT_INFEASIBLE
+    _finish_trace(span, trace_id, args.trace_out)
+    print(render_sweep(result))
+    if args.ledger:
+        print(
+            f"appended {len(result.points)} sweep entries to {args.ledger}"
+        )
+    return EXIT_OK
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     configure_cli_logging(getattr(args, "verbose", False))
@@ -883,6 +1116,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "bench-serve": _cmd_bench_serve,
         "dist-worker": _cmd_dist_worker,
+        "closure": _cmd_closure,
+        "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)
 

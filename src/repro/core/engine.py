@@ -159,10 +159,21 @@ class LeafSolvePool:
         self._broken = False
         _LIVE_POOLS.add(self)
 
-    def map(self, problems) -> Optional[list]:
-        """Solve the leaf problems in the pool; ``None`` means "do it yourself"."""
+    def map(self, problems, leaf_mask=None) -> Optional[list]:
+        """Solve the leaf problems in the pool; ``None`` means "do it yourself".
+
+        ``leaf_mask`` (a list of indices into ``problems``) restricts the
+        solve to a sparse leaf subset without rebuilding the task list —
+        the ECO path extracts only its dirty leaves (the rest may be
+        ``None`` placeholders) and masked-out positions come back as
+        ``None`` in the result list.
+        """
         if self._broken or not problems:
             return None if self._broken else []
+        indices = list(range(len(problems))) if leaf_mask is None \
+            else list(leaf_mask)
+        if not indices:
+            return [None] * len(problems)
         try:
             if self._pool is None:
                 capture = (
@@ -188,7 +199,7 @@ class LeafSolvePool:
                 self._solver, "import_warm"
             )
             order = sorted(
-                range(len(problems)),
+                indices,
                 key=lambda i: (-task_cost(problems[i]), i),
             )
             ctx = tracer.current_context()
@@ -210,9 +221,13 @@ class LeafSolvePool:
             # Advance the authoritative warm store in task order, then
             # strip the warm state from what the engine consumes.
             if managed:
-                for problem, (_, _, new_warm) in zip(problems, results):
-                    self._solver.import_warm(problem, new_warm)
-            return [(result, telemetry) for result, telemetry, _ in results]
+                for index in sorted(indices):
+                    _, _, new_warm = results[index]
+                    self._solver.import_warm(problems[index], new_warm)
+            return [
+                (entry[0], entry[1]) if entry is not None else None
+                for entry in results
+            ]
         except Exception as exc:
             log.warning(
                 "leaf-solve pool failed (%s: %s); continuing with sequential solves",
@@ -373,6 +388,9 @@ class CPLAEngine:
         # map()/close() contract (config.exec_backend picks which).
         self._pool = None
         self._iter_index = 0
+        # Populated by ECO-restricted iterations (see eco_iterate): how many
+        # leaves the dirtiness propagator actually re-solved.
+        self.last_eco: Optional[Dict[str, float]] = None
 
     # -- public API -------------------------------------------------------
 
@@ -433,6 +451,36 @@ class CPLAEngine:
         each net, and the timing cache is invalidated for all of them.
         """
         self._restore_layers(self.bench.nets, layers)
+
+    def eco_iterate(
+        self,
+        released: Sequence[Net],
+        dirty_keys,
+        clock: WallClock,
+        max_first: bool = False,
+    ) -> IterationStats:
+        """One restricted ECO pass: re-solve only leaves dirtied by an edit.
+
+        ``released`` is the full working set — partition geometry, timing
+        weights and objective statistics are computed over all of it
+        exactly as a full iteration would, so the restricted pass sees
+        the same leaf boundaries.  ``dirty_keys`` is the set of
+        ``(net_id, segment_id)`` keys the edit propagation marked dirty;
+        only the leaves containing at least one are extracted and
+        solved, clean leaves keep their layers (and their tracks stay
+        consumed in the shared capacity ledger).  ``max_first`` sharpens
+        the criticality weights onto the worst paths — the closure
+        loop's acceptance is max-first.  Dirtiness statistics land in
+        :attr:`last_eco`.
+        """
+        self._iter_index += 1
+        exponent = (
+            self.config.max_phase_exponent if max_first else None
+        )
+        return self._iterate(
+            self._iter_index, list(released), clock, exponent,
+            dirty_keys=set(dirty_keys),
+        )
 
     def _run(self) -> CPLAReport:
         cfg = self.config
@@ -556,10 +604,12 @@ class CPLAEngine:
         subset: Optional[Sequence[Net]] = None,
         segment_limit: Optional[int] = None,
         k_division: Optional[int] = None,
+        dirty_keys: Optional[set] = None,
     ) -> IterationStats:
         with tracer.span("engine.iteration", index=index):
             return self._iterate_inner(
-                index, critical, clock, exponent, subset, segment_limit, k_division
+                index, critical, clock, exponent, subset, segment_limit,
+                k_division, dirty_keys,
             )
 
     def _iterate_inner(
@@ -571,6 +621,7 @@ class CPLAEngine:
         subset: Optional[Sequence[Net]] = None,
         segment_limit: Optional[int] = None,
         k_division: Optional[int] = None,
+        dirty_keys: Optional[set] = None,
     ) -> IterationStats:
         """One release -> partition -> solve -> map -> commit pass.
 
@@ -578,6 +629,14 @@ class CPLAEngine:
         passes the near-worst nets only; everything else stays committed and
         acts as fixed boundary/capacity).  Objective statistics are always
         computed over the full released set.
+
+        ``dirty_keys`` (ECO mode) restricts the *leaves* actually solved:
+        the partition geometry is built over every released segment exactly
+        as a full pass would, but only leaves containing a dirty segment
+        key are extracted and solved.  Clean leaves keep their current
+        layers, and their current tracks are consumed in the shared
+        capacity ledger up front so dirty leaves cannot overfill the edges
+        pinned segments still occupy.
         """
         cfg = self.config
         active = list(subset) if subset is not None else list(critical)
@@ -616,21 +675,45 @@ class CPLAEngine:
         metrics.inc("engine.partitions", len(leaves))
         ledger = CapacityLedger(self.grid)
         reserved = self._reserve_protected_tracks(active, timings, ledger)
+        mask = None
+        if dirty_keys is not None:
+            mask = [
+                i for i, (_, keys) in enumerate(leaves)
+                if any(k in dirty_keys for k in keys)
+            ]
+            self.last_eco = {
+                "num_leaves": len(leaves),
+                "dirty_leaves": len(mask),
+                "dirty_fraction": (
+                    len(mask) / len(leaves) if leaves else 0.0
+                ),
+                "dirty_segments": sum(
+                    1 for _, keys in leaves for k in keys if k in dirty_keys
+                ),
+                "num_segments": len(keyed),
+            }
+            metrics.inc("engine.eco_dirty_leaves", len(mask))
+            metrics.inc("engine.eco_clean_leaves", len(leaves) - len(mask))
+            self._pin_clean_leaves(leaves, mask, nets_by_id, ledger, reserved)
         if cfg.exec_backend == "batch":
             self._solve_batched(
-                leaves, nets_by_id, timings, weights, ledger, reserved, clock
+                leaves, nets_by_id, timings, weights, ledger, reserved, clock,
+                mask,
             )
         elif cfg.exec_backend == "seq":
             self._solve_jacobi(
-                leaves, nets_by_id, timings, weights, ledger, reserved, clock
+                leaves, nets_by_id, timings, weights, ledger, reserved, clock,
+                mask,
             )
         elif cfg.workers and cfg.workers > 1:
             self._solve_parallel(
-                leaves, nets_by_id, timings, weights, ledger, reserved, clock
+                leaves, nets_by_id, timings, weights, ledger, reserved, clock,
+                mask,
             )
         else:
             self._solve_sequential(
-                leaves, nets_by_id, timings, weights, ledger, reserved, clock
+                leaves, nets_by_id, timings, weights, ledger, reserved, clock,
+                mask,
             )
 
         with clock.phase("commit"):
@@ -698,10 +781,39 @@ class CPLAEngine:
                     reserved[(net.id, seg.id)] = (edges, seg.layer)
         return reserved
 
-    def _solve_sequential(
-        self, leaves, nets_by_id, timings, weights, ledger, reserved, clock
+    def _pin_clean_leaves(
+        self, leaves, mask, nets_by_id, ledger, reserved
     ) -> None:
+        """Consume clean leaves' current tracks in the capacity ledger.
+
+        ECO mode only: leaves without a dirty segment keep their layers,
+        so their track usage must be visible to the dirty leaves sharing
+        the first-come-first-served ledger.  Keys the protection pass
+        already reserved are skipped — those tracks are consumed once
+        and (since a pinned segment's partition is never mapped) never
+        released, which is exactly "keep your current assignment".
+        """
+        masked = set(mask)
         for leaf_index, (_, keys) in enumerate(leaves):
+            if leaf_index in masked:
+                continue
+            for key in keys:
+                if key in reserved:
+                    continue
+                net_id, sid = key
+                seg = nets_by_id[net_id].topology.segments[sid]
+                edges = seg.edges()
+                if edges:
+                    ledger.consume(edges, seg.layer)
+
+    def _solve_sequential(
+        self, leaves, nets_by_id, timings, weights, ledger, reserved, clock,
+        mask=None,
+    ) -> None:
+        masked = set(mask) if mask is not None else None
+        for leaf_index, (_, keys) in enumerate(leaves):
+            if masked is not None and leaf_index not in masked:
+                continue
             with clock.phase("extract"):
                 problem = extract_partition_problem(
                     self.grid, self.elmore, nets_by_id, timings, keys,
@@ -720,17 +832,31 @@ class CPLAEngine:
                     leaf_index, problem, info, timer.elapsed, overflow, timings
                 )
 
+    def _extract_leaves(self, leaves, nets_by_id, timings, weights, mask):
+        """Extract partition problems; ``None`` placeholders off-mask.
+
+        With no mask every leaf is extracted (the full-iteration path);
+        with a mask only dirty leaves pay extraction, keeping the list
+        index-aligned with ``leaves`` for the backends' ``leaf_mask``.
+        """
+        masked = set(mask) if mask is not None else None
+        return [
+            extract_partition_problem(
+                self.grid, self.elmore, nets_by_id, timings, keys,
+                self.config.via_penalty_weight, weights,
+            )
+            if masked is None or index in masked else None
+            for index, (_, keys) in enumerate(leaves)
+        ]
+
     def _solve_parallel(
-        self, leaves, nets_by_id, timings, weights, ledger, reserved, clock
+        self, leaves, nets_by_id, timings, weights, ledger, reserved, clock,
+        mask=None,
     ) -> None:
         with clock.phase("extract"):
-            problems = [
-                extract_partition_problem(
-                    self.grid, self.elmore, nets_by_id, timings, keys,
-                    self.config.via_penalty_weight, weights,
-                )
-                for _, keys in leaves
-            ]
+            problems = self._extract_leaves(
+                leaves, nets_by_id, timings, weights, mask
+            )
         if self._pool is None:
             if self.config.exec_backend == "dist":
                 self._pool = DistFabric(
@@ -742,16 +868,17 @@ class CPLAEngine:
         parent_span = parent_ctx.span_id if parent_ctx is not None else None
         parent_trace = parent_ctx.trace_id if parent_ctx is not None else None
         with clock.phase("solve"):
-            results = self._pool.map(problems)
+            results = self._pool.map(problems, leaf_mask=mask)
         if results is None:
             # Pool failed (logged + counted by LeafSolvePool): solve the
             # already-extracted problems inline from the same snapshot —
             # identical Jacobi semantics, just without the parallelism.
             self._solve_fallback(problems, nets_by_id, ledger, reserved, clock, timings)
             return
-        for leaf_index, (problem, ((x_values, info), telemetry)) in enumerate(
-            zip(problems, results)
-        ):
+        for leaf_index, (problem, entry) in enumerate(zip(problems, results)):
+            if problem is None or entry is None:
+                continue
+            (x_values, info), telemetry = entry
             metrics.inc("engine.leaves")
             leaf_seconds = telemetry.phases.get("solve", 0.0)
             metrics.observe("engine.leaf_solve_seconds", leaf_seconds, _LEAF_BUCKETS)
@@ -767,7 +894,8 @@ class CPLAEngine:
                 )
 
     def _solve_batched(
-        self, leaves, nets_by_id, timings, weights, ledger, reserved, clock
+        self, leaves, nets_by_id, timings, weights, ledger, reserved, clock,
+        mask=None,
     ) -> None:
         """Vectorized in-process Jacobi solve (``exec_backend='batch'``).
 
@@ -779,22 +907,19 @@ class CPLAEngine:
         of its bucket's wall clock.
         """
         with clock.phase("extract"):
-            problems = [
-                extract_partition_problem(
-                    self.grid, self.elmore, nets_by_id, timings, keys,
-                    self.config.via_penalty_weight, weights,
-                )
-                for _, keys in leaves
-            ]
+            problems = self._extract_leaves(
+                leaves, nets_by_id, timings, weights, mask
+            )
         if self._pool is None:
             self._pool = BatchLeafSolver(
                 self._solver, self.config.batch_max_members
             )
         with clock.phase("solve"):
-            results = self._pool.solve_many(problems)
-        for leaf_index, (problem, (x_values, info, leaf_seconds)) in enumerate(
-            zip(problems, results)
-        ):
+            results = self._pool.solve_many(problems, leaf_mask=mask)
+        for leaf_index, (problem, entry) in enumerate(zip(problems, results)):
+            if problem is None or entry is None:
+                continue
+            x_values, info, leaf_seconds = entry
             metrics.inc("engine.leaves")
             metrics.observe("engine.leaf_solve_seconds", leaf_seconds, _LEAF_BUCKETS)
             overflow = self._map_and_apply(
@@ -806,7 +931,8 @@ class CPLAEngine:
                 )
 
     def _solve_jacobi(
-        self, leaves, nets_by_id, timings, weights, ledger, reserved, clock
+        self, leaves, nets_by_id, timings, weights, ledger, reserved, clock,
+        mask=None,
     ) -> None:
         """Single-threaded Jacobi reference solve (``exec_backend='seq'``).
 
@@ -817,13 +943,9 @@ class CPLAEngine:
         mapping so later leaves see earlier leaves' boundary updates.)
         """
         with clock.phase("extract"):
-            problems = [
-                extract_partition_problem(
-                    self.grid, self.elmore, nets_by_id, timings, keys,
-                    self.config.via_penalty_weight, weights,
-                )
-                for _, keys in leaves
-            ]
+            problems = self._extract_leaves(
+                leaves, nets_by_id, timings, weights, mask
+            )
         self._solve_fallback(problems, nets_by_id, ledger, reserved, clock, timings)
 
     def _solve_fallback(
@@ -831,6 +953,8 @@ class CPLAEngine:
     ) -> None:
         """Sequentially solve already-extracted problems after a pool failure."""
         for leaf_index, problem in enumerate(problems):
+            if problem is None:
+                continue
             with clock.phase("solve") as timer:
                 with tracer.span("engine.leaf", segments=problem.num_vars):
                     x_values, info = self._solver.solve(problem)

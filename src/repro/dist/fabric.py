@@ -208,10 +208,27 @@ class DistFabric:
 
     # -- public API (the LeafSolvePool contract) --------------------------
 
-    def map(self, problems) -> Optional[list]:
-        """Solve the leaf problems; ``None`` means "do it yourself"."""
+    def map(self, problems, leaf_mask=None) -> Optional[list]:
+        """Solve the leaf problems; ``None`` means "do it yourself".
+
+        ``leaf_mask`` (indices into ``problems``) restricts the solve to a
+        sparse leaf subset: only the masked tasks are scheduled on the
+        fabric and masked-out positions come back as ``None`` — the ECO
+        path leaves clean leaves as unextracted placeholders.
+        """
         if self._broken or not problems:
             return None if self._broken else []
+        if leaf_mask is not None:
+            indices = list(leaf_mask)
+            if not indices:
+                return [None] * len(problems)
+            subset = self.map([problems[i] for i in indices])
+            if subset is None:
+                return None
+            results: list = [None] * len(problems)
+            for position, index in enumerate(indices):
+                results[index] = subset[position]
+            return results
         try:
             self._ensure_started()
             with tracer.span("dist.map", tasks=len(problems)):

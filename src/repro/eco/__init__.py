@@ -1,0 +1,51 @@
+"""ECO (engineering change order) subsystem: delta re-solves of a
+committed layer assignment.
+
+The source paper is *incremental* layer assignment, and this package is
+where the increments live: a typed edit set (:mod:`repro.eco.edits`)
+applied against a committed checkpoint, a dirtiness propagator that maps
+edits to the partitions they actually touch, a restricted re-solve that
+only pays for those partitions (:mod:`repro.eco.engine`), a
+timing-closure loop driver (:mod:`repro.eco.closure`), and a knob-sweep
+harness (:mod:`repro.eco.sweep`).
+"""
+
+from repro.eco.edits import (
+    EcoEdit,
+    EditError,
+    edit_set_digest,
+    edits_to_json,
+    parse_edits,
+)
+from repro.eco.engine import EcoEngine, EcoReport, cold_replay_digest
+from repro.eco.closure import (
+    ClosureConfig,
+    ClosureResult,
+    render_closure,
+    run_closure,
+)
+from repro.eco.sweep import (
+    SweepConfig,
+    SweepResult,
+    render_sweep,
+    run_sweep,
+)
+
+__all__ = [
+    "ClosureConfig",
+    "ClosureResult",
+    "EcoEdit",
+    "EditError",
+    "EcoEngine",
+    "EcoReport",
+    "SweepConfig",
+    "SweepResult",
+    "cold_replay_digest",
+    "edit_set_digest",
+    "edits_to_json",
+    "parse_edits",
+    "render_closure",
+    "render_sweep",
+    "run_closure",
+    "run_sweep",
+]

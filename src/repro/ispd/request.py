@@ -25,6 +25,8 @@ from repro.ispd.suite import SUITE
 
 REQUEST_SCHEMA = "repro.assign_request/v1"
 RESPONSE_SCHEMA = "repro.assign_response/v1"
+ECO_REQUEST_SCHEMA = "repro.eco_request/v1"
+ECO_RESPONSE_SCHEMA = "repro.eco_response/v1"
 
 METHODS = ("sdp", "ilp", "tila", "tila+flow")
 
@@ -161,6 +163,17 @@ class AssignRequest:
             key += f"|maze_limit={mel}"
         return key
 
+    def dedup_key(self) -> Tuple:
+        """Identity for queue batching: requests sharing it get one solve.
+
+        For a plain assign request this is the signature (equal signatures
+        are bit-identical by construction).  :class:`EcoRequest` overrides
+        it to fold in the epoch and the edit-set digest — two ECO deltas
+        batch together only when they are the *same* delta against the
+        *same* committed state.
+        """
+        return ("assign",) + self.signature()
+
     def to_json(self) -> Dict[str, Any]:
         body: Dict[str, Any] = {
             "schema": REQUEST_SCHEMA,
@@ -180,6 +193,95 @@ class AssignRequest:
             body["router_rounds"] = self.router_rounds
         if self.maze_expansion_limit:
             body["maze_expansion_limit"] = self.maze_expansion_limit
+        return body
+
+
+_ECO_ONLY_KEYS = {"edits", "state_epoch"}
+
+
+@dataclass(frozen=True)
+class EcoRequest(AssignRequest):
+    """One ECO delta, as posted to ``/v1/eco``.
+
+    The inherited assign fields name the *resident* the delta applies to:
+    ``signature()`` is unchanged, so an ECO request routes to (and warms
+    up) exactly the resident that a matching ``/v1/assign`` would.  On
+    top of that it carries the typed edit set and the ``state_epoch`` the
+    client believes the resident is at — a mismatch is a structured 409,
+    because an edit computed against epoch N is meaningless against the
+    state left behind by someone else's epoch N+1.
+    """
+
+    edits: Tuple[Any, ...] = ()
+    state_epoch: int = 0
+    # Digest of the canonical edit-set JSON, precomputed at parse time so
+    # the queue's dedup_key() stays cheap.
+    edit_digest: str = ""
+
+    @classmethod
+    def from_json(cls, payload: Any) -> "EcoRequest":
+        """Parse and validate one ``/v1/eco`` body (raises :class:`RequestError`)."""
+        from repro.eco.edits import EditError, edit_set_digest, parse_edits
+
+        if not isinstance(payload, dict):
+            raise RequestError("request body must be a JSON object")
+        schema = payload.get("schema", ECO_REQUEST_SCHEMA)
+        if schema != ECO_REQUEST_SCHEMA:
+            raise RequestError(
+                f"schema {schema!r} is not {ECO_REQUEST_SCHEMA!r}"
+            )
+        unknown = sorted(set(payload) - _REQUEST_KEYS - _ECO_ONLY_KEYS)
+        if unknown:
+            raise RequestError(f"unknown request keys: {unknown}")
+        state_epoch = payload.get("state_epoch", 0)
+        if isinstance(state_epoch, bool) or not isinstance(state_epoch, int) \
+                or state_epoch < 0:
+            raise RequestError("state_epoch must be a non-negative integer")
+        if "edits" not in payload:
+            raise RequestError("eco request requires an 'edits' list")
+        try:
+            edits = tuple(parse_edits(payload["edits"]))
+        except EditError as exc:
+            raise RequestError(f"invalid edits: {exc}")
+        base_payload = {
+            k: v for k, v in payload.items() if k in _REQUEST_KEYS
+        }
+        base_payload["schema"] = REQUEST_SCHEMA
+        base = AssignRequest.from_json(base_payload)
+        if base.method not in ("sdp", "ilp"):
+            raise RequestError(
+                f"method {base.method!r} does not support eco_apply "
+                "(the ECO engine re-solves through the CPLA iteration)"
+            )
+        return cls(
+            benchmark=base.benchmark,
+            scale=base.scale,
+            ratio_percent=base.ratio_percent,
+            method=base.method,
+            workers=base.workers,
+            exec_backend=base.exec_backend,
+            deadline_ms=base.deadline_ms,
+            return_assignment=base.return_assignment,
+            router_rounds=base.router_rounds,
+            maze_expansion_limit=base.maze_expansion_limit,
+            edits=edits,
+            state_epoch=state_epoch,
+            edit_digest=edit_set_digest(edits),
+        )
+
+    def dedup_key(self) -> Tuple:
+        """Two ECO jobs dedup only as the same delta against the same epoch."""
+        return (
+            ("eco",) + self.signature() + (self.state_epoch, self.edit_digest)
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        from repro.eco.edits import edits_to_json
+
+        body = super().to_json()
+        body["schema"] = ECO_REQUEST_SCHEMA
+        body["edits"] = edits_to_json(self.edits)
+        body["state_epoch"] = self.state_epoch
         return body
 
 
@@ -259,6 +361,48 @@ def build_response(
     router = getattr(report, "router", None)
     if router:
         body["router"] = router
+    if assignment is not None:
+        body["assignment"] = assignment
+    if serving is not None:
+        body["serving"] = serving
+    return body
+
+
+def build_eco_response(
+    request: "EcoRequest",
+    report: Any,
+    assignment: Optional[Dict[str, List[int]]] = None,
+    serving: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The ``/v1/eco`` success body for one applied edit set.
+
+    ``report`` is an :class:`repro.eco.engine.EcoReport`; typed as Any so
+    this module stays import-light.
+    """
+    body: Dict[str, Any] = {
+        "schema": ECO_RESPONSE_SCHEMA,
+        "benchmark": request.benchmark,
+        "method": request.method,
+        "scale": request.scale,
+        "ratio_percent": request.ratio_percent,
+        "workers": request.workers,
+        "exec": request.exec_backend,
+        "state_epoch": report.epoch,
+        "edit_digest": report.edit_digest,
+        "num_edits": report.num_edits,
+        "edited_nets": report.edited_nets,
+        "released_nets": report.released,
+        "accepted": report.accepted,
+        "dirty": dict(report.dirty),
+        "quality": {
+            "pre_avg_tcp": report.pre_avg_tcp,
+            "pre_max_tcp": report.pre_max_tcp,
+            "post_avg_tcp": report.post_avg_tcp,
+            "post_max_tcp": report.post_max_tcp,
+        },
+        "assignment_digest": report.digest,
+        "runtime_seconds": round(report.seconds, 6),
+    }
     if assignment is not None:
         body["assignment"] = assignment
     if serving is not None:

@@ -283,6 +283,30 @@ def render_entry(entry: Dict[str, Any]) -> str:
             f"  queue depth p50/p95/max  {depth.get('p50', 0):g}/"
             f"{depth.get('p95', 0):g}/{depth.get('max', 0):g}",
         ])
+    eco = entry.get("eco")
+    if eco:
+        lines.extend([
+            "eco:",
+            f"  epoch {eco.get('epoch', 0)}  round {eco.get('round', 0)}  "
+            f"released {eco.get('released', 0)}  "
+            f"edits {eco.get('num_edits', 0)}",
+            f"  dirty leaves  {eco.get('dirty_leaves', 0)}/"
+            f"{eco.get('num_leaves', 0)}  "
+            f"(fraction {eco.get('dirty_fraction', 0.0):.1%})  "
+            + ("accepted" if eco.get("accepted") else "rolled back"),
+        ])
+    sweep = entry.get("sweep")
+    if sweep:
+        knobs = sweep.get("knobs", {})
+        knob_text = "  ".join(
+            f"{k}={v:g}" for k, v in sorted(knobs.items())
+        ) or "n/a"
+        lines.extend([
+            "sweep:",
+            f"  point {sweep.get('point', 0)}/{sweep.get('points', 0)}  "
+            + ("PARETO" if sweep.get("pareto") else "dominated"),
+            f"  knobs: {knob_text}",
+        ])
     trace = entry.get("trace")
     if trace:
         lines.append(
@@ -326,6 +350,12 @@ _DIFF_FIELDS = (
     ("serve p95 latency ms", ("serving", "latency_ms", "p95")),
     ("serve throughput qps", ("serving", "throughput_qps")),
     ("serve warm speedup", ("serving", "warm_speedup")),
+    # ECO entries (``repro closure`` rounds / eco_apply campaigns): the
+    # dirty fraction is the cost of a round; rising means the dirtiness
+    # propagation got blunter.
+    ("eco dirty fraction", ("eco", "dirty_fraction")),
+    ("eco dirty leaves", ("eco", "dirty_leaves")),
+    ("eco released nets", ("eco", "released")),
 )
 
 
@@ -406,6 +436,12 @@ class CheckThresholds:
     # Gated absolutely because healthy runs sit at exactly 0, where a
     # relative threshold can never fire.
     via_overflow_increase: Optional[float] = None
+    # ECO entries only: absolute ceiling on the current entry's
+    # eco.dirty_fraction — the share of partitions an edit re-solved.  An
+    # incremental engine whose small edits dirty most of the design has
+    # lost its reason to exist, so CI pins the fraction directly rather
+    # than relative to a baseline.
+    max_dirty_fraction: Optional[float] = None
 
 
 def check_entries(
@@ -461,6 +497,20 @@ def check_entries(
                 f"serving warm speedup {speedup:.2f}x is below the "
                 f"{thr.min_warm_speedup:.2f}x floor (resident warm state "
                 "not being reused?)"
+            )
+
+    if thr.max_dirty_fraction is not None:
+        fraction = _lookup(current, ("eco", "dirty_fraction"))
+        if fraction is None:
+            violations.append(
+                "dirty-fraction gate requested but the current entry has no "
+                "eco.dirty_fraction (not an ECO entry?)"
+            )
+        elif fraction > thr.max_dirty_fraction:
+            violations.append(
+                f"eco dirty fraction {fraction:.1%} exceeds the "
+                f"{thr.max_dirty_fraction:.1%} ceiling (edits are dirtying "
+                "most of the design)"
             )
 
     if thr.via_overflow_increase is not None:

@@ -13,8 +13,8 @@ ADMM starts on every invocation.  This package keeps all of that state
 - :mod:`repro.service.batcher` — single-dispatcher batch scheduler that
   dedups same-signature jobs into one engine run and fans the result out;
 - :mod:`repro.service.server` — the asyncio HTTP front (``/v1/assign``,
-  ``/metrics``, ``/healthz``, ``/readyz``, ``/v1/drain``) with graceful
-  SIGTERM drain and crash-isolated request handling;
+  ``/v1/eco``, ``/metrics``, ``/healthz``, ``/readyz``, ``/v1/drain``)
+  with graceful SIGTERM drain and crash-isolated request handling;
 - :mod:`repro.service.loadgen` — the ``repro bench-serve`` load
   generator, which writes ``repro.run_ledger/v1`` entries so serving
   regressions gate in CI exactly like solve regressions.
@@ -26,7 +26,7 @@ the test suite).  See ``docs/SERVING.md``.
 
 from __future__ import annotations
 
-from repro.service.batcher import BatchScheduler, JobFailed
+from repro.service.batcher import BatchScheduler, JobConflict, JobFailed
 from repro.service.jobs import Job, JobExpired, JobQueue, QueueClosed, QueueFull
 from repro.service.loadgen import (
     LoadGenConfig,
@@ -36,7 +36,7 @@ from repro.service.loadgen import (
     render_summary,
     run_loadgen,
 )
-from repro.service.resident import EngineHost, ResidentEngine
+from repro.service.resident import EngineHost, ResidentEngine, StaleEpoch
 from repro.service.server import AssignServer, ServeConfig, run_server
 
 __all__ = [
@@ -44,6 +44,7 @@ __all__ = [
     "BatchScheduler",
     "EngineHost",
     "Job",
+    "JobConflict",
     "JobExpired",
     "JobFailed",
     "JobQueue",
@@ -53,6 +54,7 @@ __all__ = [
     "QueueFull",
     "ResidentEngine",
     "ServeConfig",
+    "StaleEpoch",
     "ServerThread",
     "http_request",
     "render_summary",

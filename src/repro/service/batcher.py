@@ -27,11 +27,15 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.analysis.runreport import RunReport
-from repro.ispd.request import build_response, extract_assignment
+from repro.ispd.request import (
+    EcoRequest,
+    build_eco_response,
+    build_response,
+    extract_assignment,
+)
 from repro.obs import metrics, tracer
 from repro.service.jobs import Job, JobQueue
-from repro.service.resident import EngineHost
+from repro.service.resident import EngineHost, StaleEpoch
 from repro.utils import get_logger
 
 log = get_logger(__name__)
@@ -42,6 +46,23 @@ SERVICE_BUCKETS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0)
 
 class JobFailed(Exception):
     """The engine raised while serving this job (maps to HTTP 500)."""
+
+
+class JobConflict(Exception):
+    """An ECO job named a stale state epoch (maps to HTTP 409).
+
+    Unlike :class:`JobFailed`, a conflict does *not* evict the resident —
+    its state is intact and authoritative; the client's view is what is
+    out of date.
+    """
+
+    def __init__(self, expected: int, current: int) -> None:
+        super().__init__(
+            f"stale state_epoch: request targets epoch {expected}, "
+            f"resident is at epoch {current}"
+        )
+        self.expected = expected
+        self.current = current
 
 
 class BatchScheduler:
@@ -115,6 +136,19 @@ class BatchScheduler:
                         len(pending),
                     )
                 )
+            except StaleEpoch as exc:
+                # The resident is fine — only the client's epoch is stale.
+                # No eviction; the whole batch (same epoch by dedup key)
+                # gets a structured 409.
+                log.info(
+                    "eco conflict for %s: %s; batch of %d gets 409",
+                    leader.request.signature_key(), exc, len(pending),
+                )
+                metrics.inc("serve.jobs_conflicted", len(pending))
+                conflict = JobConflict(exc.expected, exc.current)
+                for job in pending:
+                    if not job.future.done():
+                        job.future.set_exception(conflict)
             except Exception as exc:
                 log.warning(
                     "solve failed for %s (%s: %s); batch of %d gets 500",
@@ -145,9 +179,14 @@ class BatchScheduler:
 
     def _solve(
         self, leader: Job, want_assignment: bool, batch_size: int
-    ) -> Tuple[RunReport, str, Optional[Dict[str, List[int]]], int,
+    ) -> Tuple[Any, str, Optional[Dict[str, List[int]]], int,
                Optional[str]]:
-        """Engine-thread body: resolve the resident and run it once.
+        """Engine-thread body: resolve the resident and run the batch once.
+
+        An :class:`~repro.ispd.request.EcoRequest` leader applies its edit
+        set incrementally (``resident.apply_eco``); anything else is a full
+        solve.  The report is a :class:`RunReport` or an ``EcoReport``
+        accordingly — ``_fan_out`` picks the matching response builder.
 
         The batch leader's trace context is attached for the duration, so
         the ``serve.solve`` span (and the whole engine span tree under it)
@@ -163,7 +202,11 @@ class BatchScheduler:
                 batch_size=batch_size,
             ) as span:
                 resident = self.host.get(leader.request)
-                report, digest = resident.solve()
+                if isinstance(leader.request, EcoRequest):
+                    report = resident.apply_eco(leader.request)
+                    digest = report.digest
+                else:
+                    report, digest = resident.solve()
                 assignment = (
                     extract_assignment(resident.bench)
                     if want_assignment else None
@@ -178,7 +221,7 @@ class BatchScheduler:
     def _fan_out(
         self,
         jobs: List[Job],
-        report: RunReport,
+        report: Any,
         digest: str,
         assignment: Optional[Dict[str, List[int]]],
         engine_runs: int,
@@ -218,12 +261,22 @@ class BatchScheduler:
                 )
                 if link is not None:
                     link.finish()
-            job.future.set_result(
-                build_response(
-                    job.request,
-                    report,
-                    digest,
-                    assignment if job.request.return_assignment else None,
-                    serving,
+            if isinstance(job.request, EcoRequest):
+                job.future.set_result(
+                    build_eco_response(
+                        job.request,
+                        report,
+                        assignment if job.request.return_assignment else None,
+                        serving,
+                    )
                 )
-            )
+            else:
+                job.future.set_result(
+                    build_response(
+                        job.request,
+                        report,
+                        digest,
+                        assignment if job.request.return_assignment else None,
+                        serving,
+                    )
+                )

@@ -12,8 +12,10 @@ whose client has already given up — and their futures complete with
 
 ``get_batch`` is the scheduler's side: it blocks until work is available,
 then returns the oldest job *plus every other queued job with the same
-problem signature* (up to ``max_batch``).  Equal signatures are guaranteed
-the bit-identical assignment, so one engine run serves the whole batch.
+dedup key* (up to ``max_batch``).  Equal dedup keys — the signature for
+assign requests, signature + epoch + edit digest for ECO requests — are
+guaranteed the bit-identical answer, so one engine run serves the whole
+batch.
 """
 
 from __future__ import annotations
@@ -154,13 +156,13 @@ class JobQueue:
         leader = self._jobs.popleft()
         batch = [leader]
         if max_batch > 1:
-            signature = leader.request.signature()
+            key = leader.request.dedup_key()
             rest: List[Job] = []
             while self._jobs:
                 job = self._jobs.popleft()
                 if (
                     len(batch) < max_batch
-                    and job.request.signature() == signature
+                    and job.request.dedup_key() == key
                 ):
                     batch.append(job)
                 else:

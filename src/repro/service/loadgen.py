@@ -34,7 +34,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.ispd.request import AssignRequest, assignment_digest
+from repro.ispd.request import (
+    ECO_REQUEST_SCHEMA,
+    AssignRequest,
+    assignment_digest,
+)
 from repro.obs import ledger as run_ledger
 from repro.obs import tracer
 from repro.service.server import AssignServer, ServeConfig
@@ -181,6 +185,11 @@ class LoadGenConfig:
     requests: int = 24
     concurrency: int = 8
     warmup: int = 3
+    # ECO phase: after warm-up, this many sequential ``/v1/eco`` deltas
+    # (worst-k releases) with correctly chained state epochs.  Exercises
+    # the incremental path of the resident that the warm phase built.
+    eco_rounds: int = 0
+    eco_release_k: int = 4
     timeout_seconds: float = 300.0
     verify: bool = False
     url: Optional[str] = None  # None -> spawn an in-process server
@@ -203,6 +212,15 @@ class LoadGenConfig:
             workers=self.workers,
             exec_backend=self.exec_backend,
         ).to_json()
+
+    def eco_body(self, state_epoch: int) -> Dict[str, Any]:
+        body = self.assign_body()
+        body["schema"] = ECO_REQUEST_SCHEMA
+        body["edits"] = [
+            {"op": "release_nets", "worst": self.eco_release_k}
+        ]
+        body["state_epoch"] = state_epoch
+        return body
 
     @property
     def ledger_method(self) -> str:
@@ -287,6 +305,24 @@ async def _campaign(
         warm_samples.append(ms)
         warm_payloads.append(payload)
 
+    eco_results: List[Tuple[float, int, Any]] = []
+    if cfg.eco_rounds:
+        # Sequential on purpose: each round's epoch is the previous
+        # round's answer, so this is the protocol a real ECO client runs.
+        log.info("eco phase: %d chained deltas ...", cfg.eco_rounds)
+        epoch = 0
+        for _ in range(cfg.eco_rounds):
+            started = time.monotonic()
+            status, payload = await http_request(
+                host, port, "POST", "/v1/eco", cfg.eco_body(epoch),
+                timeout=cfg.timeout_seconds,
+            )
+            eco_results.append(
+                (1000.0 * (time.monotonic() - started), status, payload)
+            )
+            if status == 200 and isinstance(payload, dict):
+                epoch = int(payload.get("state_epoch", epoch + 1))
+
     log.info(
         "cold %.0fms -> warm %.0fms; starting load phase "
         "(%d requests at %.1f qps, concurrency %d)",
@@ -315,6 +351,7 @@ async def _campaign(
     return {
         "cold": (cold_ms, cold_payload),
         "warm": (warm_samples, warm_payloads),
+        "eco": eco_results,
         "load": results,
         "load_seconds": load_seconds,
     }
@@ -410,6 +447,36 @@ def run_loadgen(cfg: LoadGenConfig) -> LoadGenResult:
     for payload in [cold_payload] + warm_payloads:
         result.digests.append(payload.get("assignment_digest", ""))
 
+    # ECO-phase accounting (digests excluded from the consistency check:
+    # every accepted delta legitimately moves the assignment).
+    eco_stats: Optional[Dict[str, Any]] = None
+    if measured["eco"]:
+        eco_ms = [ms for ms, status, _ in measured["eco"] if status == 200]
+        eco_ok = len(eco_ms)
+        eco_accepted = sum(
+            1 for _, status, p in measured["eco"]
+            if status == 200 and isinstance(p, dict) and p.get("accepted")
+        )
+        eco_failed = sum(
+            1 for _, status, _ in measured["eco"] if status != 200
+        )
+        result.errors += eco_failed
+        final_epoch = 0
+        for _, status, p in measured["eco"]:
+            if status == 200 and isinstance(p, dict):
+                final_epoch = int(p.get("state_epoch", final_epoch))
+        eco_stats = {
+            "rounds": len(measured["eco"]),
+            "ok": eco_ok,
+            "accepted": eco_accepted,
+            "failed": eco_failed,
+            "final_epoch": final_epoch,
+            "latency_ms": {
+                "p50": round(_percentile(eco_ms, 0.50), 3),
+                "max": round(max(eco_ms), 3) if eco_ms else 0.0,
+            },
+        }
+
     if cfg.verify:
         log.info("verifying against an in-process repro run ...")
         local = _local_digest(cfg)
@@ -475,6 +542,8 @@ def run_loadgen(cfg: LoadGenConfig) -> LoadGenResult:
             "verified_against_run": result.verified,
         },
     }
+    if eco_stats is not None:
+        entry["serving"]["eco"] = eco_stats
     # Trace linkage: the slowest load request is the one `obs check`
     # failures most want explained, so it is the entry's primary trace id.
     cold_trace = (
@@ -513,6 +582,13 @@ def render_summary(result: LoadGenResult) -> str:
             if result.verified is not None else ""
         ),
     ]
+    eco = s.get("eco")
+    if eco:
+        lines.insert(2, (
+            f"  eco: {eco['ok']}/{eco['rounds']} ok "
+            f"({eco['accepted']} accepted), final epoch {eco['final_epoch']}, "
+            f"p50 {eco['latency_ms']['p50']:.0f}ms"
+        ))
     trace = result.entry.get("trace")
     if trace and trace.get("trace_id"):
         where = f"  ({trace['file']})" if trace.get("file") else ""

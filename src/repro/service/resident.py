@@ -59,6 +59,25 @@ def restore_layers(bench: Benchmark, layers: Dict[SegKey, int]) -> None:
         commit_net(bench.grid, net.topology)
 
 
+class StaleEpoch(Exception):
+    """An ECO delta targeted an epoch the resident is no longer at.
+
+    Maps to HTTP 409: the edit set was computed against committed state
+    epoch ``expected`` but the resident has moved on to ``current`` (some
+    other client's delta, or a fresh full solve, landed in between).  The
+    resident state is *not* discarded — the client should refresh its view
+    and resubmit against the current epoch.
+    """
+
+    def __init__(self, expected: int, current: int) -> None:
+        super().__init__(
+            f"stale state_epoch: request targets epoch {expected}, "
+            f"resident is at epoch {current}"
+        )
+        self.expected = expected
+        self.current = current
+
+
 class ResidentEngine:
     """Warm solver state for one problem signature.
 
@@ -82,6 +101,10 @@ class ResidentEngine:
         self.method = request.method
         self.runs = 0
         self.created = time.monotonic()
+        # Committed-state epoch for ECO deltas: 0 after every full solve,
+        # +1 per applied edit set.  ``/v1/eco`` requests must name it.
+        self.state_epoch = 0
+        self._eco = None  # lazily-built repro.eco.engine.EcoEngine
         prepare_fn = prepare_fn or prepare
         if request.router_rounds or request.maze_expansion_limit:
             from repro.route.router import RouterConfig
@@ -141,7 +164,38 @@ class ResidentEngine:
                 critical_ratio=self._tila_ratio,
             )
             report = TILAEngine(self.bench, config).run()
+        # A full solve recommits the baseline: any ECO history is gone and
+        # the epoch counter restarts from the new committed state.
+        self.state_epoch = 0
+        self._eco = None
         return report, assignment_digest(self.bench)
+
+    def apply_eco(self, request) -> "object":
+        """Apply one ECO delta against the committed state; bump the epoch.
+
+        Raises :class:`StaleEpoch` when ``request.state_epoch`` does not
+        match the resident's current epoch — *before* touching any state,
+        so a conflicting client costs nothing and poisons nothing.  A cold
+        resident (no solve yet) auto-solves first to establish the
+        epoch-0 committed baseline.
+        """
+        from repro.eco.engine import EcoEngine
+
+        if self._engine is None:
+            raise ValueError(
+                f"method {self.method!r} does not support eco_apply"
+            )
+        if request.state_epoch != self.state_epoch:
+            metrics.inc("serve.eco_stale_epoch")
+            raise StaleEpoch(request.state_epoch, self.state_epoch)
+        if not self.runs:
+            self.solve()
+        if self._eco is None:
+            self._eco = EcoEngine(self._engine)
+            self._eco.epoch = self.state_epoch
+        report = self._eco.apply(list(request.edits))
+        self.state_epoch = self._eco.epoch
+        return report
 
     @property
     def warm(self) -> bool:

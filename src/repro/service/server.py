@@ -8,6 +8,10 @@ connection.  Endpoints:
   optimized assignment + Tcp + per-phase clocks out.  Admission goes
   through the bounded job queue: a full queue answers **429** with a
   ``Retry-After`` estimate instead of queueing unboundedly.
+- ``POST /v1/eco`` — an ECO delta (``repro.eco_request/v1``: typed edit
+  set + ``state_epoch``) applied incrementally against the matching
+  resident's committed state.  A stale epoch answers a structured **409**
+  with the resident's current epoch; the resident is untouched.
 - ``GET  /metrics``  — Prometheus text from the process-wide
   :mod:`repro.obs.metrics` registry (the same registry the engines
   instrument; there is deliberately no second one).
@@ -38,10 +42,15 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
-from repro.ispd.request import AssignRequest, RequestError, error_body
+from repro.ispd.request import (
+    AssignRequest,
+    EcoRequest,
+    RequestError,
+    error_body,
+)
 from repro.obs import metrics, tracer
 from repro.obs.tracer import TraceContext
-from repro.service.batcher import BatchScheduler, JobFailed
+from repro.service.batcher import BatchScheduler, JobConflict, JobFailed
 from repro.service.jobs import Job, JobExpired, JobQueue, QueueClosed, QueueFull
 from repro.service.resident import EngineHost
 from repro.utils import get_logger
@@ -50,7 +59,7 @@ log = get_logger(__name__)
 
 _REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 408: "Request Timeout",
+    405: "Method Not Allowed", 408: "Request Timeout", 409: "Conflict",
     413: "Payload Too Large", 429: "Too Many Requests",
     500: "Internal Server Error", 503: "Service Unavailable",
     504: "Gateway Timeout",
@@ -365,19 +374,27 @@ class AssignServer:
             }, {}
         if path == "/v1/assign" and method == "POST":
             return await self._assign(body, ctx)
+        if path == "/v1/eco" and method == "POST":
+            return await self._assign(body, ctx, parser=EcoRequest.from_json)
         if path in ("/healthz", "/readyz", "/metrics", "/v1/drain",
-                    "/v1/assign"):
+                    "/v1/assign", "/v1/eco"):
             return 405, error_body(
                 "method_not_allowed", f"{method} not supported on {path}"
             ), {}
         return 404, error_body("not_found", f"no route {path}"), {}
 
     async def _assign(
-        self, body: bytes, ctx: TraceContext
+        self, body: bytes, ctx: TraceContext, parser=AssignRequest.from_json
     ) -> Tuple[int, Any, Dict[str, str]]:
+        """Shared admission path of ``/v1/assign`` and ``/v1/eco``.
+
+        Only the parser differs; queueing, backpressure, deadlines, and
+        the error taxonomy are identical.  409 (stale ECO epoch) can only
+        come back for :class:`EcoRequest` jobs.
+        """
         try:
             payload = json.loads(body.decode("utf-8") or "null")
-            request = AssignRequest.from_json(payload)
+            request = parser(payload)
             self._check_policy(request)
         except (RequestError, UnicodeDecodeError, json.JSONDecodeError) as exc:
             metrics.inc("serve.bad_requests")
@@ -401,6 +418,11 @@ class AssignServer:
             response = await job.future
         except JobExpired as exc:
             return 504, error_body("deadline_exceeded", str(exc)), {}
+        except JobConflict as exc:
+            return 409, error_body(
+                "stale_epoch", str(exc),
+                expected_epoch=exc.expected, current_epoch=exc.current,
+            ), {}
         except JobFailed as exc:
             return 500, error_body("solve_failed", str(exc)), {}
         return 200, response, {}

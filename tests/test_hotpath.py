@@ -263,7 +263,9 @@ class TestLeafSolvePool:
             pool.shutdown()
 
     def test_engine_survives_pool_failure(self, monkeypatch):
-        monkeypatch.setattr(LeafSolvePool, "map", lambda self, problems: None)
+        monkeypatch.setattr(
+            LeafSolvePool, "map", lambda self, problems, leaf_mask=None: None
+        )
         bench = prepare(generate(tiny_spec()))
         report = CPLAEngine(bench, fast_cpla(workers=2)).run()
         assert report.final_avg_tcp <= report.initial_avg_tcp
