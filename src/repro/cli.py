@@ -194,7 +194,57 @@ def build_parser() -> argparse.ArgumentParser:
              "this address (authkey from REPRO_DIST_AUTHKEY; join with "
              "'repro dist-worker --connect HOST:PORT')",
     )
+    p_srv.add_argument(
+        "--fleet-shard-id", default=None, metavar="ID",
+        help="this server's shard id in a fleet (e.g. s0); required with "
+             "--replica-listen / --replica-peer",
+    )
+    p_srv.add_argument(
+        "--replica-listen", default=None, metavar="HOST:PORT",
+        help="accept warm-state replicas from fleet peers on this address "
+             "(authkey from REPRO_FLEET_AUTHKEY)",
+    )
+    p_srv.add_argument(
+        "--replica-peer", action="append", default=None,
+        metavar="ID=HOST:PORT",
+        help="a fleet peer's shard id and replica address; repeat for "
+             "every shard INCLUDING this one (all shards must name the "
+             "identical membership so their hash rings agree)",
+    )
+    p_srv.add_argument("--fleet-vnodes", type=int, default=64,
+                       help="virtual nodes per shard on the hash ring")
     p_srv.add_argument("-v", "--verbose", action="store_true")
+
+    p_gw = sub.add_parser(
+        "gateway",
+        help="fleet gateway: shard /v1/assign and /v1/eco over resident "
+             "servers by consistent hash, with a digest result cache and "
+             "failover to the ring's next live shard",
+    )
+    p_gw.add_argument("--host", default="127.0.0.1")
+    p_gw.add_argument("--port", type=int, default=8282,
+                      help="listen port (0 picks an ephemeral port)")
+    p_gw.add_argument(
+        "--shard", action="append", default=None, metavar="ID=URL",
+        dest="shards", required=True,
+        help="a backend shard, e.g. s0=http://127.0.0.1:8181; repeat per "
+             "shard — ids (sorted) define the hash ring",
+    )
+    p_gw.add_argument("--vnodes", type=int, default=64,
+                      help="virtual nodes per shard on the hash ring")
+    p_gw.add_argument("--cache-capacity", type=int, default=256,
+                      help="result-cache entries kept (LRU); 0 disables")
+    p_gw.add_argument("--max-inflight", type=int, default=8,
+                      help="per-shard in-flight request cap; beyond it "
+                           "requests queue, then get 429")
+    p_gw.add_argument("--max-waiting", type=int, default=32,
+                      help="per-shard queued-waiter cap behind "
+                           "--max-inflight")
+    p_gw.add_argument("--health-interval", type=float, default=1.0,
+                      help="seconds between /readyz health sweeps")
+    p_gw.add_argument("--timeout", type=float, default=300.0,
+                      help="per-request upstream timeout in seconds")
+    p_gw.add_argument("-v", "--verbose", action="store_true")
 
     p_bsv = sub.add_parser(
         "bench-serve",
@@ -249,6 +299,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--eco-release-k", type=int, default=4, metavar="K",
         help="worst-k nets released per --eco-rounds delta (default 4)",
     )
+    p_bsv.add_argument(
+        "--gateway", action="store_true",
+        help="fleet mode: front the campaign with an in-process repro "
+             "gateway sharding over --shards resident servers, and write "
+             "a fleet:<method> ledger entry with cache/failover stats",
+    )
+    p_bsv.add_argument("--shards", type=int, default=2, metavar="N",
+                       help="shard servers behind the --gateway (default 2)")
+    p_bsv.add_argument(
+        "--failover-requests", type=int, default=2, metavar="N",
+        help="with --gateway: after the load phase, drain the signature's "
+             "owning shard and send N cache-bypassing probes that must "
+             "fail over bit-identically (default 2; 0 disables)",
+    )
+    p_bsv.add_argument("--cache-capacity", type=int, default=256,
+                       help="gateway result-cache entries (fleet mode)")
     _add_common(p_bsv)
 
     p_clo = sub.add_parser(
@@ -427,6 +493,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail when the current ECO entry re-solved more than this "
              "fraction of its partition leaves (absolute ceiling on "
              "eco.dirty_fraction; default: not gated)",
+    )
+    p_check.add_argument(
+        "--min-cache-hit-rate", type=float, default=None, metavar="FRAC",
+        help="fail unless the current fleet entry's gateway cache hit "
+             "rate is at least FRAC (absolute floor on "
+             "serving.fleet.cache_hit_rate; default: not gated)",
+    )
+    p_check.add_argument(
+        "--max-failover-cold-starts", type=float, default=None, metavar="N",
+        help="fail when the current fleet entry counts more than N "
+             "failover cold starts (absolute ceiling on "
+             "serving.fleet.failover_cold_starts; 0 means every failover "
+             "must seed warm from a replica; default: not gated)",
     )
     p_check.add_argument("-v", "--verbose", action="store_true")
 
@@ -779,6 +858,8 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         min_warm_speedup=args.min_warm_speedup,
         via_overflow_increase=args.max_via_overflow_increase,
         max_dirty_fraction=args.max_dirty_fraction,
+        min_cache_hit_rate=args.min_cache_hit_rate,
+        max_failover_cold_starts=args.max_failover_cold_starts,
     )
     violations = run_ledger.check_entries(baseline, current, thresholds)
     label = f"{current.get('benchmark')}/{current.get('method')}"
@@ -826,6 +907,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     dist_listen, dist_authkey, code = _dist_listen_args(args, "serve")
     if code is not None:
         return code
+    fleet_authkey = None
+    replica_listen = None
+    fleet_peers = None
+    if args.replica_listen or args.replica_peer:
+        if not args.fleet_shard_id:
+            print(
+                "serve: --replica-listen/--replica-peer require "
+                "--fleet-shard-id",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        secret = os.environ.get("REPRO_FLEET_AUTHKEY", "")
+        if not secret:
+            print(
+                "serve: fleet replication requires the REPRO_FLEET_AUTHKEY "
+                "env var (shared secret peers authenticate with)",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        fleet_authkey = secret.encode("utf-8")
+        if args.replica_listen:
+            replica_listen = _parse_hostport(args.replica_listen)
+            if replica_listen is None:
+                print(
+                    f"--replica-listen must look like HOST:PORT, got "
+                    f"{args.replica_listen!r}",
+                    file=sys.stderr,
+                )
+                return EXIT_USAGE
+        if args.replica_peer:
+            fleet_peers = {}
+            for spec in args.replica_peer:
+                shard_id, _, addr_text = spec.partition("=")
+                address = _parse_hostport(addr_text)
+                if not shard_id or address is None:
+                    print(
+                        f"--replica-peer must look like ID=HOST:PORT, got "
+                        f"{spec!r}",
+                        file=sys.stderr,
+                    )
+                    return EXIT_USAGE
+                fleet_peers[shard_id] = address
     try:
         config = ServeConfig(
             host=args.host,
@@ -838,6 +961,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_workers=args.max_workers,
             dist_listen=dist_listen,
             dist_authkey=dist_authkey,
+            fleet_shard_id=args.fleet_shard_id,
+            replica_listen=replica_listen,
+            fleet_authkey=fleet_authkey,
+            fleet_peers=fleet_peers,
+            fleet_vnodes=args.fleet_vnodes,
         )
     except ValueError as exc:
         print(f"serve: {exc}", file=sys.stderr)
@@ -845,6 +973,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         return asyncio.run(run_server(config))
     except KeyboardInterrupt:  # signal handler unavailable (rare platforms)
+        return 0
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.fleet import GatewayConfig, run_gateway
+
+    shards = {}
+    for spec in args.shards:
+        shard_id, _, url = spec.partition("=")
+        trimmed = url
+        for prefix in ("http://", "https://"):
+            if trimmed.startswith(prefix):
+                trimmed = trimmed[len(prefix):]
+        address = _parse_hostport(trimmed.rstrip("/"))
+        if not shard_id or address is None:
+            print(
+                f"--shard must look like ID=http://HOST:PORT, got {spec!r}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        shards[shard_id] = address
+    try:
+        config = GatewayConfig(
+            shards=shards,
+            host=args.host,
+            port=args.port,
+            vnodes=args.vnodes,
+            cache_capacity=args.cache_capacity,
+            max_inflight_per_shard=args.max_inflight,
+            max_waiting_per_shard=args.max_waiting,
+            health_interval_seconds=args.health_interval,
+            request_timeout_seconds=args.timeout,
+        )
+    except ValueError as exc:
+        print(f"gateway: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        return asyncio.run(run_gateway(config))
+    except KeyboardInterrupt:
         return 0
 
 
@@ -951,7 +1120,18 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         dist_authkey=dist_authkey,
         eco_rounds=args.eco_rounds,
         eco_release_k=args.eco_release_k,
+        gateway=args.gateway,
+        shards=args.shards,
+        failover_requests=args.failover_requests,
+        cache_capacity=args.cache_capacity,
     )
+    if args.gateway and args.url:
+        print(
+            "bench-serve: --gateway spins up its own in-process fleet; "
+            "it cannot be combined with --url",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     try:
         result = run_loadgen(config)
     except (RuntimeError, ValueError, OSError) as exc:
@@ -1114,6 +1294,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "evaluate": _cmd_evaluate,
         "obs": _cmd_obs,
         "serve": _cmd_serve,
+        "gateway": _cmd_gateway,
         "bench-serve": _cmd_bench_serve,
         "dist-worker": _cmd_dist_worker,
         "closure": _cmd_closure,

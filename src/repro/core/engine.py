@@ -452,6 +452,23 @@ class CPLAEngine:
         """
         self._restore_layers(self.bench.nets, layers)
 
+    def export_warm_store(self) -> Optional[Dict]:
+        """The solver's whole warm-start store, or None if it has none.
+
+        Fleet replication (:mod:`repro.fleet.replica`) ships this to the
+        ring successor so a failed-over shard resumes with the owner's
+        ADMM warm starts; warm == fresh is bit-identical, so only latency
+        changes.
+        """
+        if hasattr(self._solver, "export_warm_store"):
+            return self._solver.export_warm_store()
+        return None
+
+    def import_warm_store(self, store: Optional[Dict]) -> None:
+        """Merge a replicated warm store into the solver's (no-op if N/A)."""
+        if store and hasattr(self._solver, "import_warm_store"):
+            self._solver.import_warm_store(store)
+
     def eco_iterate(
         self,
         released: Sequence[Net],

@@ -130,6 +130,20 @@ class SdpPartitionSolver:
         else:
             self._warm[key] = X
 
+    def export_warm_store(self) -> Dict[Tuple, np.ndarray]:
+        """Copy of the whole warm store (fleet replication ships this)."""
+        return {key: np.array(X, copy=True) for key, X in self._warm.items()}
+
+    def import_warm_store(self, store: Dict[Tuple, np.ndarray]) -> None:
+        """Merge a peer's warm store into this solver's.
+
+        Entries overwrite per-signature; ADMM warm starts only change
+        iteration counts, never the accepted assignment (warm == fresh is
+        bit-identical), so importing is always digest-safe.
+        """
+        for key, X in store.items():
+            self._warm[key] = np.array(X, copy=True)
+
     @property
     def admm(self) -> ADMMSDPSolver:
         """The underlying ADMM solver (the batch backend shares it)."""

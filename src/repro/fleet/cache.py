@@ -1,0 +1,97 @@
+"""Cross-request result cache of the gateway: signature -> digest + payload.
+
+Requests with equal problem signatures are bit-identical by construction
+(that is the invariant the whole serving tier is built on), so the
+gateway may answer an idempotent repeat from cache without touching any
+shard — or any solver.  One entry holds the full success payload of the
+original ``/v1/assign`` response, its sha256 assignment digest, and the
+trace identity of the solve that produced it, so a cache hit can record
+a ``fleet.cache_hit`` link span pointing at the original solve's trace.
+
+Only plain ``/v1/assign`` 200s are cached (``return_assignment: true``
+responses carry megabytes of layers and are deliberately excluded; ECO
+responses advance an epoch, so caching one would replay a state
+transition).  A ``/v1/eco`` success *invalidates* the affected
+signature: the resident's committed state moved, and although a later
+full solve would reproduce the same digest, the epoch bookkeeping a
+client observes must come from the shard, not from a stale cache line.
+
+The cache is a bounded LRU, touched only from the gateway's single
+asyncio loop — no lock needed or taken.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.obs import metrics
+
+
+@dataclass
+class CacheEntry:
+    """One cached ``/v1/assign`` success."""
+
+    digest: str
+    payload: Dict[str, Any]
+    # Trace identity of the solve that produced the payload — the target
+    # of the ``fleet.cache_hit`` link span recorded on every hit.
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    stored_at: float = field(default_factory=time.monotonic)
+    hits: int = 0
+
+
+class ResultCache:
+    """Bounded LRU of :class:`CacheEntry` keyed by signature key."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0 (0 disables caching)")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            metrics.inc("fleet.cache_misses")
+            return None
+        self._entries.move_to_end(key)
+        entry.hits += 1
+        metrics.inc("fleet.cache_hits")
+        return entry
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        if self.capacity == 0:  # caching disabled
+            return
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            metrics.inc("fleet.cache_evictions")
+
+    def invalidate(self, key: str) -> bool:
+        """Drop a signature's entry (ECO landed); True when present."""
+        if self._entries.pop(key, None) is not None:
+            metrics.inc("fleet.cache_invalidations")
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def stats(self) -> Dict[str, Any]:
+        """Topology-endpoint snapshot (``GET /fleet/shards``)."""
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "keys": list(self._entries),
+        }

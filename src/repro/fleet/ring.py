@@ -1,0 +1,133 @@
+"""Deterministic consistent-hash ring over problem signatures.
+
+The fleet tier routes every request by its problem signature
+(:meth:`repro.ispd.request.AssignRequest.signature_key`), and three
+parties must independently agree on the mapping: the gateway (to pick
+the shard holding the warm resident), each shard (to find the ring
+successor it replicates warm state to, and to recognize failed-over
+traffic), and the load generator (to know which shard to kill).  They
+never exchange the mapping — they each build this ring from the same
+sorted shard-id list and hash the same strings.
+
+Determinism is therefore non-negotiable: positions come from sha256, a
+function of the bytes alone, never from Python's ``hash()`` (which is
+salted per process by ``PYTHONHASHSEED``).  ``tests/test_fleet.py``
+pins this with a varied-hash-seed subprocess test.
+
+Each shard owns ``vnodes`` pseudo-random positions ("virtual nodes") so
+load spreads evenly and a membership change only remaps the key ranges
+adjacent to the added/removed shard's positions — the classic
+consistent-hashing minimal-movement property, which a hypothesis
+property test asserts directly.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+DEFAULT_VNODES = 64
+
+
+def _position(text: str) -> int:
+    """Ring position of a string: the first 8 bytes of its sha256."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping signature keys to shard ids."""
+
+    def __init__(
+        self, shards: Iterable[str], vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._shards: List[str] = []
+        # Sorted (position, shard_id) pairs; ties (astronomically unlikely
+        # with 64-bit positions) break on the shard id, deterministically.
+        self._points: List[Tuple[int, str]] = []
+        for shard in sorted(set(shards)):
+            self._insert(shard)
+        if not self._shards:
+            raise ValueError("ring needs at least one shard")
+
+    # -- membership -------------------------------------------------------
+
+    def _insert(self, shard: str) -> None:
+        self._shards.append(shard)
+        self._shards.sort()
+        for i in range(self.vnodes):
+            point = (_position(f"{shard}#{i}"), shard)
+            bisect.insort(self._points, point)
+
+    def add(self, shard: str) -> None:
+        """Explicit rebalance: join one shard (no-op if present)."""
+        if shard not in self._shards:
+            self._insert(shard)
+
+    def remove(self, shard: str) -> None:
+        """Explicit rebalance: leave one shard (its ranges move to successors)."""
+        if shard not in self._shards:
+            return
+        if len(self._shards) == 1:
+            raise ValueError("cannot remove the last shard")
+        self._shards.remove(shard)
+        self._points = [p for p in self._points if p[1] != shard]
+
+    @property
+    def shards(self) -> Tuple[str, ...]:
+        return tuple(self._shards)
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._shards
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    # -- lookup -----------------------------------------------------------
+
+    def _walk_from(self, key: str) -> Iterable[str]:
+        """Shard ids in ring order starting at ``key``'s position."""
+        start = bisect.bisect_right(self._points, (_position(key), ""))
+        n = len(self._points)
+        for offset in range(n):
+            yield self._points[(start + offset) % n][1]
+
+    def owner(self, key: str) -> str:
+        """The shard owning ``key``: first position clockwise from its hash."""
+        return next(iter(self._walk_from(key)))
+
+    def successors(self, key: str) -> List[str]:
+        """All shards in failover order for ``key`` (owner first, distinct).
+
+        The gateway tries these in order when shards die mid-request; the
+        owning shard replicates its warm state to ``successors(key)[1]``.
+        Every party computes the identical list from the identical ring.
+        """
+        seen: List[str] = []
+        for shard in self._walk_from(key):
+            if shard not in seen:
+                seen.append(shard)
+                if len(seen) == len(self._shards):
+                    break
+        return seen
+
+    def replica_target(self, key: str, shard_id: str) -> str | None:
+        """Where ``shard_id`` should replicate ``key``'s warm state.
+
+        The first shard in failover order that is not ``shard_id`` itself —
+        for the owner that is the ring successor, which is exactly where
+        the gateway will send the key's traffic if the owner dies.  ``None``
+        on a single-shard ring (nowhere to replicate).
+        """
+        for shard in self.successors(key):
+            if shard != shard_id:
+                return shard
+        return None
+
+    def assignments(self, keys: Iterable[str]) -> Dict[str, str]:
+        """key -> owner for a batch of keys (rebalance bookkeeping)."""
+        return {key: self.owner(key) for key in keys}

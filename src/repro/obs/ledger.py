@@ -283,6 +283,21 @@ def render_entry(entry: Dict[str, Any]) -> str:
             f"  queue depth p50/p95/max  {depth.get('p50', 0):g}/"
             f"{depth.get('p95', 0):g}/{depth.get('max', 0):g}",
         ])
+        fleet = serving.get("fleet")
+        if fleet:
+            lines.extend([
+                "fleet:",
+                f"  shards {fleet.get('shards', 0)}  cache hit rate "
+                f"{fleet.get('cache_hit_rate', 0.0):.0%}  "
+                f"({fleet.get('cache_hits', 0)} hits / "
+                f"{fleet.get('cache_misses', 0)} misses, "
+                f"{fleet.get('cache_invalidations', 0)} invalidations)",
+                f"  failovers {fleet.get('failovers', 0)}  "
+                f"cold starts {fleet.get('failover_cold_starts', 0)}  "
+                f"replica seeds {fleet.get('replica_seeds', 0)}  "
+                f"pushes {fleet.get('replica_pushes', 0)}  "
+                f"engine runs {fleet.get('engine_runs', 0)}",
+            ])
     eco = entry.get("eco")
     if eco:
         lines.extend([
@@ -350,6 +365,13 @@ _DIFF_FIELDS = (
     ("serve p95 latency ms", ("serving", "latency_ms", "p95")),
     ("serve throughput qps", ("serving", "throughput_qps")),
     ("serve warm speedup", ("serving", "warm_speedup")),
+    # Fleet entries (``repro bench-serve --gateway``): gateway-level
+    # behaviour of the sharded topology.
+    ("fleet cache hit rate", ("serving", "fleet", "cache_hit_rate")),
+    ("fleet failovers", ("serving", "fleet", "failovers")),
+    ("fleet cold starts", ("serving", "fleet", "failover_cold_starts")),
+    ("fleet replica seeds", ("serving", "fleet", "replica_seeds")),
+    ("fleet engine runs", ("serving", "fleet", "engine_runs")),
     # ECO entries (``repro closure`` rounds / eco_apply campaigns): the
     # dirty fraction is the cost of a round; rising means the dirtiness
     # propagation got blunter.
@@ -442,6 +464,13 @@ class CheckThresholds:
     # lost its reason to exist, so CI pins the fraction directly rather
     # than relative to a baseline.
     max_dirty_fraction: Optional[float] = None
+    # Fleet entries only (``repro bench-serve --gateway``), both absolute:
+    # a floor on the gateway's cache hit rate (a fleet whose idempotent
+    # repeats reach solvers has a broken cache), and a ceiling on failover
+    # cold starts (a failover that cannot seed from the replica stream
+    # lost the warm-failover property the tier exists for).
+    min_cache_hit_rate: Optional[float] = None
+    max_failover_cold_starts: Optional[float] = None
 
 
 def check_entries(
@@ -511,6 +540,35 @@ def check_entries(
                 f"eco dirty fraction {fraction:.1%} exceeds the "
                 f"{thr.max_dirty_fraction:.1%} ceiling (edits are dirtying "
                 "most of the design)"
+            )
+
+    if thr.min_cache_hit_rate is not None:
+        rate = _lookup(current, ("serving", "fleet", "cache_hit_rate"))
+        if rate is None:
+            violations.append(
+                "cache-hit-rate gate requested but the current entry has no "
+                "serving.fleet.cache_hit_rate (not a fleet entry?)"
+            )
+        elif rate < thr.min_cache_hit_rate:
+            violations.append(
+                f"fleet cache hit rate {rate:.1%} is below the "
+                f"{thr.min_cache_hit_rate:.1%} floor (idempotent repeats "
+                "are reaching solvers)"
+            )
+
+    if thr.max_failover_cold_starts is not None:
+        cold = _lookup(current, ("serving", "fleet", "failover_cold_starts"))
+        if cold is None:
+            violations.append(
+                "failover-cold-start gate requested but the current entry "
+                "has no serving.fleet.failover_cold_starts (not a fleet "
+                "entry?)"
+            )
+        elif cold > thr.max_failover_cold_starts:
+            violations.append(
+                f"fleet failover cold starts {cold:g} exceed the "
+                f"{thr.max_failover_cold_starts:g} ceiling (replica "
+                "seeding is not keeping failover warm)"
             )
 
     if thr.via_overflow_increase is not None:

@@ -682,9 +682,17 @@ def _extract_tree(
 
     Embedding several connections can overlap and create cycles; a BFS from
     the root keeps one tree, then non-pin dangling leaves are pruned.
+
+    The result must be a pure function of the edge *union*, never of the
+    iteration order of the incoming set: ``Edge2D`` starts with a ``"V"``/
+    ``"H"`` string, so set order varies with ``PYTHONHASHSEED``, and the
+    emitted edge order decides segment enumeration — and therefore the
+    assignment digest that the serving tier compares across processes.
+    Sorting here (and visiting BFS neighbors sorted) pins one canonical
+    tree per union.
     """
     adj: Dict[Tile, Set[Tile]] = {}
-    for e in edges:
+    for e in sorted(edges):
         a, b = edge_endpoints(e)
         adj.setdefault(a, set()).add(b)
         adj.setdefault(b, set()).add(a)
@@ -698,7 +706,7 @@ def _extract_tree(
     queue = deque([root])
     while queue:
         u = queue.popleft()
-        for v in adj[u]:
+        for v in sorted(adj[u]):
             if v not in parent:
                 parent[v] = u
                 order.append(v)
@@ -727,8 +735,10 @@ def _extract_tree(
 
     out: List[Edge2D] = []
     seen: Set[frozenset] = set()
-    for u, nbrs in tree_adj.items():
-        for v in nbrs:
+    for u in order:
+        if u not in tree_adj:
+            continue  # pruned dangling leaf
+        for v in sorted(tree_adj[u]):
             key = frozenset((u, v))
             if key not in seen:
                 seen.add(key)

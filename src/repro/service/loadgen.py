@@ -121,6 +121,7 @@ class ServerThread:
     def __init__(self, config: Optional[ServeConfig] = None) -> None:
         self.config = config or ServeConfig(port=0)
         self.port: Optional[int] = None
+        self.server: Optional[AssignServer] = None
         self._ready = threading.Event()
         self._failed: Optional[BaseException] = None
         self._thread = threading.Thread(
@@ -137,6 +138,7 @@ class ServerThread:
     async def _main(self) -> None:
         server = AssignServer(self.config)
         await server.start()
+        self.server = server
         self.port = server.port
         self._ready.set()
         await server.serve_forever(install_signals=False)
@@ -162,6 +164,108 @@ class ServerThread:
         self._thread.join(timeout)
 
     def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+# -- in-process fleet topology ------------------------------------------------
+
+
+_FLEET_AUTHKEY = b"repro-fleet-loadgen"
+
+
+class FleetTopology:
+    """N shard servers plus one gateway, all in-process.
+
+    Ephemeral ports everywhere, so bring-up is two-phase: every shard
+    first binds its replica receiver, then — once all replica addresses
+    are known — each shard joins the fleet (identical rings built from
+    the identical sorted shard-id list), and finally the gateway comes up
+    fronting the shard HTTP ports.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        max_queue: int = 32,
+        max_batch: int = 8,
+        max_workers: int = 4,
+        cache_capacity: int = 256,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("a fleet needs at least one shard")
+        self.shard_ids = [f"s{i}" for i in range(num_shards)]
+        self.shards: Dict[str, ServerThread] = {}
+        self.gateway = None  # repro.fleet.gateway.GatewayThread
+        self._ring = None
+        self._max_queue = max_queue
+        self._max_batch = max_batch
+        self._max_workers = max_workers
+        self._cache_capacity = cache_capacity
+
+    def start(self) -> "FleetTopology":
+        from repro.fleet.gateway import GatewayConfig, GatewayThread
+        from repro.fleet.ring import HashRing
+
+        for shard_id in self.shard_ids:
+            self.shards[shard_id] = ServerThread(
+                ServeConfig(
+                    port=0,
+                    max_queue=self._max_queue,
+                    max_batch=self._max_batch,
+                    max_workers=self._max_workers,
+                    fleet_shard_id=shard_id,
+                    replica_listen=("127.0.0.1", 0),
+                    fleet_authkey=_FLEET_AUTHKEY,
+                )
+            ).start()
+        peers = {
+            shard_id: thread.server.replica_address
+            for shard_id, thread in self.shards.items()
+        }
+        for thread in self.shards.values():
+            thread.server.join_fleet(peers)
+        self._ring = HashRing(self.shard_ids)
+        self.gateway = GatewayThread(
+            GatewayConfig(
+                shards={
+                    shard_id: (thread.config.host, thread.port)
+                    for shard_id, thread in self.shards.items()
+                },
+                port=0,
+                cache_capacity=self._cache_capacity,
+            )
+        ).start()
+        log.info(
+            "fleet up: %d shards behind gateway :%d",
+            len(self.shards), self.gateway.port,
+        )
+        return self
+
+    @property
+    def host(self) -> str:
+        return "127.0.0.1"
+
+    @property
+    def port(self) -> int:
+        return self.gateway.port
+
+    def owner_of(self, key: str) -> str:
+        """The shard id the ring routes ``key`` to (the failover victim)."""
+        return self._ring.owner(key)
+
+    def stop_shard(self, shard_id: str) -> None:
+        self.shards[shard_id].stop()
+
+    def stop(self) -> None:
+        if self.gateway is not None:
+            self.gateway.stop()
+        for thread in self.shards.values():
+            thread.stop()
+
+    def __enter__(self) -> "FleetTopology":
         return self.start()
 
     def __exit__(self, *exc_info) -> None:
@@ -202,6 +306,15 @@ class LoadGenConfig:
     # server's engine host (``--exec dist`` requests only).
     dist_listen: Optional[Tuple[str, int]] = None
     dist_authkey: Optional[bytes] = None
+    # Fleet mode (``--gateway``): front the campaign with an in-process
+    # ``repro gateway`` sharding over ``shards`` resident servers.  After
+    # the load phase the signature's owning shard is drained and
+    # ``failover_requests`` cache-bypassing probes assert the gateway
+    # fails over to a warm successor with the identical digest.
+    gateway: bool = False
+    shards: int = 2
+    failover_requests: int = 2
+    cache_capacity: int = 256
 
     def assign_body(self) -> Dict[str, Any]:
         return AssignRequest(
@@ -225,9 +338,15 @@ class LoadGenConfig:
     @property
     def ledger_method(self) -> str:
         """Serve entries gate only against like-for-like baselines, so the
-        dist backend gets its own method label (``serve:sdp+dist``)."""
+        dist backend gets its own method label (``serve:sdp+dist``) and
+        gateway campaigns their own family (``fleet:sdp``)."""
         suffix = "" if self.exec_backend == "pool" else f"+{self.exec_backend}"
-        return f"serve:{self.method}{suffix}"
+        prefix = "fleet" if self.gateway else "serve"
+        return f"{prefix}:{self.method}{suffix}"
+
+    def signature_key(self) -> str:
+        """The routing/cache key of the campaign's one problem signature."""
+        return AssignRequest.from_json(self.assign_body()).signature_key()
 
 
 @dataclass
@@ -383,15 +502,70 @@ def _local_digest(cfg: LoadGenConfig) -> str:
         tracer.detach(token)
 
 
+async def _failover_probe(
+    cfg: LoadGenConfig, host: str, port: int
+) -> List[Tuple[float, int, Any]]:
+    """Post-kill probes: cache-bypassing assigns that must fail over.
+
+    ``return_assignment=True`` makes the request uncacheable by gateway
+    policy, so every probe reaches a shard — a cache hit would prove
+    nothing about failover.
+    """
+    body = cfg.assign_body()
+    body["return_assignment"] = True
+    probes: List[Tuple[float, int, Any]] = []
+    for _ in range(cfg.failover_requests):
+        started = time.monotonic()
+        status, payload = await http_request(
+            host, port, "POST", "/v1/assign", body,
+            timeout=cfg.timeout_seconds,
+        )
+        probes.append(
+            (1000.0 * (time.monotonic() - started), status, payload)
+        )
+    return probes
+
+
+_FLEET_COUNTERS = (
+    "fleet.cache_hits", "fleet.cache_misses", "fleet.cache_invalidations",
+    "fleet.failovers", "fleet.failover_requests",
+    "fleet.failover_cold_builds", "fleet.replica_seeds",
+    "fleet.replica_pushes", "fleet.replica_push_failures",
+    "engine.runs",
+)
+
+
+def _counter_snapshot() -> Dict[str, float]:
+    from repro.obs import metrics
+
+    counters = metrics.registry().as_dict().get("counters", {})
+    return {name: float(counters.get(name, 0)) for name in _FLEET_COUNTERS}
+
+
 def run_loadgen(cfg: LoadGenConfig) -> LoadGenResult:
     """Execute one campaign and build its ledger entry."""
     server: Optional[ServerThread] = None
+    fleet: Optional[FleetTopology] = None
     if cfg.trace_out:
         # Enable before the server (and its engine pools/fabrics, which
         # snapshot the capture flags at startup) comes up.
         tracer.enable()
+    counters_before: Optional[Dict[str, float]] = None
     if cfg.url:
         host, port = _parse_url(cfg.url)
+    elif cfg.gateway:
+        from repro.obs import metrics
+
+        metrics.enable()  # fleet stats come from counter deltas
+        counters_before = _counter_snapshot()
+        fleet = FleetTopology(
+            cfg.shards,
+            max_queue=cfg.max_queue,
+            max_batch=cfg.max_batch,
+            max_workers=max(4, cfg.workers),
+            cache_capacity=cfg.cache_capacity,
+        ).start()
+        host, port = fleet.host, fleet.port
     else:
         server = ServerThread(
             ServeConfig(
@@ -404,11 +578,33 @@ def run_loadgen(cfg: LoadGenConfig) -> LoadGenResult:
             )
         ).start()
         host, port = server.config.host, server.port  # type: ignore[assignment]
+    failover_stats: Optional[Dict[str, Any]] = None
+    failover_payloads: List[Any] = []
     try:
         measured = asyncio.run(_campaign(cfg, host, port))
+        if fleet is not None and cfg.failover_requests > 0 and cfg.shards > 1:
+            victim = fleet.owner_of(cfg.signature_key())
+            log.info(
+                "failover phase: draining owner shard %r, then %d probes",
+                victim, cfg.failover_requests,
+            )
+            fleet.stop_shard(victim)
+            probes = asyncio.run(_failover_probe(cfg, host, port))
+            failover_payloads = [p for _, status, p in probes if status == 200]
+            failover_stats = {
+                "victim": victim,
+                "probes": len(probes),
+                "ok": len(failover_payloads),
+                "failed": len(probes) - len(failover_payloads),
+                "latency_ms": {
+                    "max": round(max((ms for ms, _, _ in probes), default=0.0), 3),
+                },
+            }
     finally:
         if server is not None:
             server.stop()
+        if fleet is not None:
+            fleet.stop()
 
     trace_info: Optional[Dict[str, Any]] = None
     if cfg.trace_out:
@@ -446,6 +642,13 @@ def run_loadgen(cfg: LoadGenConfig) -> LoadGenResult:
             result.errors += 1
     for payload in [cold_payload] + warm_payloads:
         result.digests.append(payload.get("assignment_digest", ""))
+    # Failover probe digests join the same consistency pool: a failed-over
+    # shard must answer bit-identically to the shard it replaced.
+    for payload in failover_payloads:
+        if isinstance(payload, dict):
+            result.digests.append(payload.get("assignment_digest", ""))
+    if failover_stats is not None:
+        result.errors += failover_stats["failed"]
 
     # ECO-phase accounting (digests excluded from the consistency check:
     # every accepted delta legitimately moves the assignment).
@@ -476,6 +679,37 @@ def run_loadgen(cfg: LoadGenConfig) -> LoadGenResult:
                 "max": round(max(eco_ms), 3) if eco_ms else 0.0,
             },
         }
+
+    # Fleet accounting: counter deltas over the whole campaign.  The
+    # gateway, shards, and this thread share one process-wide registry, so
+    # ``engine_runs`` vs ``cache_hits`` proves cache hits never reached a
+    # solver (every served request is one or the other).
+    fleet_stats: Optional[Dict[str, Any]] = None
+    if counters_before is not None:
+        after = _counter_snapshot()
+        delta = {
+            name: after[name] - counters_before[name]
+            for name in _FLEET_COUNTERS
+        }
+        lookups = delta["fleet.cache_hits"] + delta["fleet.cache_misses"]
+        fleet_stats = {
+            "shards": cfg.shards,
+            "cache_hits": int(delta["fleet.cache_hits"]),
+            "cache_misses": int(delta["fleet.cache_misses"]),
+            "cache_hit_rate": (
+                round(delta["fleet.cache_hits"] / lookups, 4) if lookups else 0.0
+            ),
+            "cache_invalidations": int(delta["fleet.cache_invalidations"]),
+            "failovers": int(delta["fleet.failovers"]),
+            "failover_requests": int(delta["fleet.failover_requests"]),
+            "failover_cold_starts": int(delta["fleet.failover_cold_builds"]),
+            "replica_seeds": int(delta["fleet.replica_seeds"]),
+            "replica_pushes": int(delta["fleet.replica_pushes"]),
+            "replica_push_failures": int(delta["fleet.replica_push_failures"]),
+            "engine_runs": int(delta["engine.runs"]),
+        }
+        if failover_stats is not None:
+            fleet_stats["failover"] = failover_stats
 
     if cfg.verify:
         log.info("verifying against an in-process repro run ...")
@@ -544,6 +778,8 @@ def run_loadgen(cfg: LoadGenConfig) -> LoadGenResult:
     }
     if eco_stats is not None:
         entry["serving"]["eco"] = eco_stats
+    if fleet_stats is not None:
+        entry["serving"]["fleet"] = fleet_stats
     # Trace linkage: the slowest load request is the one `obs check`
     # failures most want explained, so it is the entry's primary trace id.
     cold_trace = (
@@ -589,6 +825,23 @@ def render_summary(result: LoadGenResult) -> str:
             f"({eco['accepted']} accepted), final epoch {eco['final_epoch']}, "
             f"p50 {eco['latency_ms']['p50']:.0f}ms"
         ))
+    fleet = s.get("fleet")
+    if fleet:
+        lines.append(
+            f"  fleet: {fleet['shards']} shards, cache hit rate "
+            f"{fleet['cache_hit_rate']:.0%} ({fleet['cache_hits']} hits / "
+            f"{fleet['cache_misses']} misses), {fleet['engine_runs']} "
+            f"engine runs"
+        )
+        failover = fleet.get("failover")
+        if failover:
+            lines.append(
+                f"  failover: shard {failover['victim']!r} killed, "
+                f"{failover['ok']}/{failover['probes']} probes ok, "
+                f"{fleet['failovers']} failovers, "
+                f"{fleet['replica_seeds']} warm seeds, "
+                f"{fleet['failover_cold_starts']} cold starts"
+            )
     trace = result.entry.get("trace")
     if trace and trace.get("trace_id"):
         where = f"  ({trace['file']})" if trace.get("file") else ""

@@ -105,6 +105,13 @@ class ResidentEngine:
         # +1 per applied edit set.  ``/v1/eco`` requests must name it.
         self.state_epoch = 0
         self._eco = None  # lazily-built repro.eco.engine.EcoEngine
+        # Fleet replication (see repro.fleet.replica): the edit sets (JSON
+        # form) applied since the last full solve — shipped to the ring
+        # successor so a failover can replay them bit-exactly; a seeded
+        # resident holds them in _pending_history until first touched.
+        self._history = []
+        self._pending_history = None
+        self._replicator = None  # set by EngineHost when in a fleet
         prepare_fn = prepare_fn or prepare
         if request.router_rounds or request.maze_expansion_limit:
             from repro.route.router import RouterConfig
@@ -156,6 +163,7 @@ class ResidentEngine:
             else:
                 restore_layers(self.bench, self._baseline)
         self.runs += 1
+        metrics.inc("engine.runs")
         if self._engine is not None:
             report = self._engine.run()
         else:
@@ -168,6 +176,9 @@ class ResidentEngine:
         # the epoch counter restarts from the new committed state.
         self.state_epoch = 0
         self._eco = None
+        self._history = []
+        self._pending_history = None
+        self._replicate()
         return report, assignment_digest(self.bench)
 
     def apply_eco(self, request) -> "object":
@@ -188,14 +199,88 @@ class ResidentEngine:
         if request.state_epoch != self.state_epoch:
             metrics.inc("serve.eco_stale_epoch")
             raise StaleEpoch(request.state_epoch, self.state_epoch)
-        if not self.runs:
+        if self._pending_history is not None:
+            self._materialize_history()
+        elif not self.runs:
             self.solve()
         if self._eco is None:
             self._eco = EcoEngine(self._engine)
             self._eco.epoch = self.state_epoch
+        metrics.inc("engine.runs")
         report = self._eco.apply(list(request.edits))
         self.state_epoch = self._eco.epoch
+        from repro.eco.edits import edits_to_json
+
+        self._history.append(edits_to_json(request.edits))
+        self._replicate()
         return report
+
+    # -- fleet replication -------------------------------------------------
+
+    def seed_replica(self, state) -> bool:
+        """Adopt a :class:`~repro.fleet.replica.ReplicaState` from a peer.
+
+        Called right after construction, before any request touches this
+        resident.  The shipped post-prepare checkpoint must match the
+        locally prepared baseline — preparation is deterministic, so a
+        mismatch means the peer solved a *different* problem and seeding
+        would break bit-identity; it is refused loudly.  The ADMM warm
+        store is imported (warm == fresh, bit-identical), and any ECO
+        history is held pending: the first ``/v1/eco`` request replays it
+        to the replicated epoch before applying its own delta, while a
+        full solve discards it (epochs restart at 0, as on any shard).
+        """
+        if dict(state.baseline) != dict(self._baseline):
+            metrics.inc("fleet.replica_baseline_mismatch")
+            log.warning(
+                "replica for %s has a divergent post-prepare checkpoint; "
+                "refusing to seed", self.key,
+            )
+            return False
+        if self._engine is not None and state.warm_store:
+            self._engine.import_warm_store(state.warm_store)
+        if state.epoch and state.history:
+            self._pending_history = [list(h) for h in state.history]
+            self.state_epoch = state.epoch
+        metrics.inc("fleet.replica_seeds")
+        log.info(
+            "seeded resident %s from replica (epoch %d, %d warm entries)",
+            self.key, state.epoch, len(state.warm_store or ()),
+        )
+        return True
+
+    def _materialize_history(self) -> None:
+        """Replay the replicated ECO history onto a fresh baseline solve.
+
+        Restores the exact committed state (and epoch) the dead owner
+        replicated — the ECO engine's incremental == cold-replay guarantee
+        plus deterministic preparation make the replay bit-exact.
+        """
+        from repro.eco.edits import parse_edits
+        from repro.eco.engine import EcoEngine
+
+        history = [list(h) for h in self._pending_history or ()]
+        target = self.state_epoch
+        log.info(
+            "materializing %d replicated ECO epochs for %s",
+            len(history), self.key,
+        )
+        self.solve()  # epoch-0 baseline; clears _pending_history/_history
+        self._eco = EcoEngine(self._engine)
+        self._eco.epoch = 0
+        for edits_json in history:
+            self._eco.apply(parse_edits(edits_json))
+        self.state_epoch = self._eco.epoch
+        self._history = history
+        if self.state_epoch != target:
+            log.warning(
+                "replayed history reached epoch %d, replica said %d",
+                self.state_epoch, target,
+            )
+
+    def _replicate(self) -> None:
+        if self._replicator is not None:
+            self._replicator.push(self)
 
     @property
     def warm(self) -> bool:
@@ -220,6 +305,9 @@ class EngineHost:
         self.capacity = capacity
         self.dist_listen = dist_listen
         self.dist_authkey = dist_authkey
+        # repro.fleet.replica.ShardFleet when this host serves a fleet
+        # shard: ownership ring, received-replica store, outbound pusher.
+        self.fleet = None
         self._residents: "OrderedDict[Tuple, ResidentEngine]" = OrderedDict()
 
     def get(self, request: AssignRequest) -> ResidentEngine:
@@ -233,6 +321,8 @@ class EngineHost:
                 dist_listen=self.dist_listen,
                 dist_authkey=self.dist_authkey,
             )
+            if self.fleet is not None:
+                self._join_fleet(resident, request.signature_key())
             self._residents[signature] = resident
             while len(self._residents) > self.capacity:
                 _, evicted = self._residents.popitem(last=False)
@@ -243,6 +333,25 @@ class EngineHost:
             metrics.inc("serve.engine_hits")
         self._residents.move_to_end(signature)
         return resident
+
+    def _join_fleet(self, resident: ResidentEngine, key: str) -> None:
+        """Fleet bookkeeping for a freshly built resident.
+
+        A build for a signature this shard does not own is failed-over
+        traffic (the gateway only routes here when the owner is dead);
+        if the dead owner managed to replicate, resume warm from its
+        state, otherwise count a cold start — the ``obs check
+        --max-failover-cold-starts`` gate watches that counter.
+        """
+        resident._replicator = self.fleet.replicator
+        if self.fleet.ring.owner(key) == self.fleet.shard_id:
+            return
+        metrics.inc("fleet.failover_requests")
+        state = self.fleet.store.get(key)
+        if state is not None and resident.seed_replica(state):
+            return
+        metrics.inc("fleet.failover_cold_builds")
+        log.info("failover build for %s has no usable replica; cold start", key)
 
     def discard(self, request: AssignRequest) -> None:
         """Drop (and close) the resident for a signature, if present.

@@ -50,20 +50,13 @@ from repro.ispd.request import (
 )
 from repro.obs import metrics, tracer
 from repro.obs.tracer import TraceContext
+from repro.service import http
 from repro.service.batcher import BatchScheduler, JobConflict, JobFailed
 from repro.service.jobs import Job, JobExpired, JobQueue, QueueClosed, QueueFull
 from repro.service.resident import EngineHost
 from repro.utils import get_logger
 
 log = get_logger(__name__)
-
-_REASONS = {
-    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 408: "Request Timeout", 409: "Conflict",
-    413: "Payload Too Large", 429: "Too Many Requests",
-    500: "Internal Server Error", 503: "Service Unavailable",
-    504: "Gateway Timeout",
-}
 
 # End-to-end request latency buckets (seconds).
 _REQUEST_BUCKETS = (0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 120.0)
@@ -89,12 +82,28 @@ class ServeConfig:
     # residents so remote ``repro dist-worker --connect`` workers can join.
     dist_listen: Optional[Tuple[str, int]] = None
     dist_authkey: Optional[bytes] = None
+    # Fleet membership (optional; see repro.fleet).  ``fleet_shard_id``
+    # names this shard on the consistent-hash ring; ``replica_listen``
+    # opens the authenticated replica receiver; ``fleet_peers`` maps every
+    # shard id (this one included) to its replica listener address.  When
+    # peers are known up front they wire at start(); topologies with
+    # ephemeral replica ports call :meth:`AssignServer.join_fleet` after
+    # all receivers are bound.
+    fleet_shard_id: Optional[str] = None
+    replica_listen: Optional[Tuple[str, int]] = None
+    fleet_authkey: Optional[bytes] = None
+    fleet_peers: Optional[Dict[str, Tuple[str, int]]] = None
+    fleet_vnodes: int = 64
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
             raise ValueError("max_queue must be >= 1")
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if self.replica_listen is not None and self.fleet_authkey is None:
+            raise ValueError("replica_listen requires fleet_authkey")
+        if self.replica_listen is not None and self.fleet_shard_id is None:
+            raise ValueError("replica_listen requires fleet_shard_id")
 
 
 class AssignServer:
@@ -117,6 +126,7 @@ class AssignServer:
         self._drain_task: Optional[asyncio.Task] = None
         self._started_at = time.monotonic()
         self.port: Optional[int] = None  # actual port (config.port may be 0)
+        self._replica_receiver = None  # repro.fleet.replica.ReplicaReceiver
 
     # -- lifecycle --------------------------------------------------------
 
@@ -125,6 +135,19 @@ class AssignServer:
         metrics.enable()
         self._stopped = asyncio.Event()
         self._started_at = time.monotonic()
+        if self.config.replica_listen is not None:
+            from repro.fleet.replica import ReplicaReceiver
+
+            self._replica_receiver = ReplicaReceiver(
+                self.config.replica_listen, self.config.fleet_authkey
+            )
+            self._replica_receiver.start()
+            log.info(
+                "shard %s replica receiver on %s:%d",
+                self.config.fleet_shard_id, *self._replica_receiver.address,
+            )
+            if self.config.fleet_peers:
+                self.join_fleet(self.config.fleet_peers)
         self.scheduler.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
@@ -176,6 +199,10 @@ class AssignServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._replica_receiver is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._replica_receiver.close
+            )
         log.info("drain complete")
         assert self._stopped is not None
         self._stopped.set()
@@ -184,6 +211,46 @@ class AssignServer:
     def ready(self) -> bool:
         return self._server is not None and not self._draining
 
+    # -- fleet membership --------------------------------------------------
+
+    @property
+    def replica_address(self) -> Optional[Tuple[str, int]]:
+        """The bound replica listener address (resolves a port-0 listen)."""
+        if self._replica_receiver is None:
+            return None
+        return self._replica_receiver.address
+
+    def join_fleet(self, peers: Dict[str, Tuple[str, int]]) -> None:
+        """Finish fleet wiring once every peer's replica address is known.
+
+        ``peers`` maps shard id -> replica listener address for the whole
+        fleet, this shard included.  Builds the same consistent-hash ring
+        the gateway routes by, so the shard can (a) push each signature's
+        warm state to its ring successor and (b) recognize failed-over
+        traffic — a resident build for a signature it does not own.
+        """
+        from repro.fleet.replica import Replicator, ShardFleet
+        from repro.fleet.ring import HashRing
+
+        if self._replica_receiver is None:
+            raise ValueError("join_fleet requires replica_listen")
+        shard_id = self.config.fleet_shard_id
+        if shard_id not in peers:
+            raise ValueError(f"fleet peers must include this shard {shard_id!r}")
+        ring = HashRing(peers, vnodes=self.config.fleet_vnodes)
+        self.host.fleet = ShardFleet(
+            shard_id=shard_id,
+            ring=ring,
+            store=self._replica_receiver.store,
+            replicator=Replicator(
+                shard_id, ring, peers, self.config.fleet_authkey
+            ),
+        )
+        log.info(
+            "shard %s joined fleet of %d (%s)",
+            shard_id, len(peers), ", ".join(sorted(peers)),
+        )
+
     # -- connection handling ----------------------------------------------
 
     async def _handle_connection(
@@ -191,10 +258,13 @@ class AssignServer:
     ) -> None:
         started = time.monotonic()
         try:
-            method, path, headers_in, body = await self._read_request(reader)
-        except _HttpError as exc:
+            method, path, headers_in, body = await http.read_request(
+                reader, self.config.max_body_bytes,
+                self.config.header_timeout_seconds,
+            )
+        except http.HttpError as exc:
             ctx = TraceContext(tracer.new_trace_id())
-            await self._respond(
+            await http.respond(
                 writer, exc.status,
                 self._tag_payload(
                     error_body("bad_request", str(exc)), ctx
@@ -242,7 +312,7 @@ class AssignServer:
             _REQUEST_BUCKETS,
         )
         metrics.inc(f"serve.http_{status}")
-        await self._respond(
+        await http.respond(
             writer, status,
             self._tag_payload(payload, job_ctx),
             self._trace_headers(headers, job_ctx),
@@ -274,69 +344,6 @@ class AssignServer:
         if ctx.span_id is not None:
             headers.setdefault("traceparent", ctx.to_traceparent())
         return headers
-
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, Dict[str, str], bytes]:
-        try:
-            head = await asyncio.wait_for(
-                reader.readuntil(b"\r\n\r\n"),
-                timeout=self.config.header_timeout_seconds,
-            )
-        except asyncio.LimitOverrunError:
-            raise _HttpError(413, "headers too large")
-        except asyncio.TimeoutError:
-            raise _HttpError(408, "timed out reading request head")
-        try:
-            request_line, *header_lines = head.decode("latin-1").split("\r\n")
-            method, path, _version = request_line.split(" ", 2)
-        except ValueError:
-            raise _HttpError(400, "malformed request line")
-        headers: Dict[str, str] = {}
-        for line in header_lines:
-            if ":" in line:
-                key, value = line.split(":", 1)
-                headers[key.strip().lower()] = value.strip()
-        length_text = headers.get("content-length", "0")
-        try:
-            length = int(length_text)
-        except ValueError:
-            raise _HttpError(400, f"bad Content-Length {length_text!r}")
-        if length < 0 or length > self.config.max_body_bytes:
-            raise _HttpError(
-                413, f"body of {length} bytes exceeds "
-                     f"{self.config.max_body_bytes}"
-            )
-        body = await reader.readexactly(length) if length else b""
-        return method, path.split("?", 1)[0], headers, body
-
-    async def _respond(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        payload: Any,
-        headers: Optional[Dict[str, str]] = None,
-    ) -> None:
-        if isinstance(payload, str):
-            blob = payload.encode("utf-8")
-            content_type = "text/plain; version=0.0.4; charset=utf-8"
-        else:
-            blob = (json.dumps(payload) + "\n").encode("utf-8")
-            content_type = "application/json"
-        lines = [
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            f"Content-Type: {content_type}",
-            f"Content-Length: {len(blob)}",
-            "Connection: close",
-        ]
-        for key, value in (headers or {}).items():
-            lines.append(f"{key}: {value}")
-        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + blob)
-        try:
-            await writer.drain()
-        except ConnectionError:  # client went away mid-response
-            pass
-        writer.close()
 
     # -- routing ----------------------------------------------------------
 
@@ -439,12 +446,6 @@ class AssignServer:
                 f"workers {request.workers} exceeds this server's limit "
                 f"{cfg.max_workers}"
             )
-
-
-class _HttpError(Exception):
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
 
 
 async def run_server(config: Optional[ServeConfig] = None) -> int:

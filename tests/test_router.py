@@ -1,5 +1,9 @@
 """Tests for the 2-D global router."""
 
+import os
+import subprocess
+import sys
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -120,6 +124,39 @@ class TestExtractTree:
         edges = {("H", 0, 0)}
         with pytest.raises(RuntimeError):
             _extract_tree(edges, (0, 0), {(0, 0), (5, 5)}, "t")
+
+    def test_determinism_across_hash_seeds(self):
+        """Three interpreters with different PYTHONHASHSEEDs emit the
+        identical edge *order*.
+
+        ``Edge2D`` starts with a "V"/"H" string, so iterating the input
+        set directly would vary with hash randomization — and the emitted
+        order decides segment enumeration, hence the assignment digest
+        the fleet tier compares across shard processes.
+        """
+        script = (
+            "from repro.route.router import _extract_tree\n"
+            # Overlapping cyclic union: two 2x2 cycles sharing a corner,
+            # plus a dangling stub — exercises BFS, cycle-break, pruning.
+            "edges = {('H', 0, 0), ('H', 0, 1), ('V', 0, 0), ('V', 1, 0),\n"
+            "         ('H', 1, 1), ('H', 1, 2), ('V', 1, 1), ('V', 2, 1),\n"
+            "         ('H', 2, 0)}\n"
+            "print(_extract_tree(edges, (0, 0), {(0, 0), (2, 2)}, 't'))\n"
+        )
+        outputs = []
+        for seed in ("0", "1", "31337"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [os.path.join(os.path.dirname(__file__), "..", "src")]
+                + env.get("PYTHONPATH", "").split(os.pathsep)
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, timeout=60,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(proc.stdout.strip())
+        assert outputs[0] == outputs[1] == outputs[2]
 
 
 class TestMonotoneCandidates:
